@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race bench fuzz fmt vet demo clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+fuzz:
+	$(GO) test ./internal/hdc -run '^$$' -fuzz FuzzVectorRoundTrip -fuzztime 30s
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+demo:
+	$(GO) run ./cmd/smore
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,83 @@
+// Command smore runs the full SMORE pipeline end to end on a seeded
+// synthetic multi-sensor dataset: encode the source domains, train the
+// associative memory, evaluate the no-adapt baseline on a shifted target
+// domain, run similarity-based adaptation on the unlabeled target windows,
+// and report the accuracy delta.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"go-arxiv/smore/internal/data"
+	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/model"
+	"go-arxiv/smore/internal/pipeline"
+)
+
+func main() {
+	var (
+		dim        = flag.Int("dim", 4096, "hypervector dimension (multiple of 64)")
+		levels     = flag.Int("levels", 32, "quantization levels")
+		ngram      = flag.Int("ngram", 3, "temporal n-gram length")
+		sensors    = flag.Int("sensors", 4, "sensor channels")
+		classes    = flag.Int("classes", 5, "classes")
+		window     = flag.Int("window", 64, "window length in timesteps")
+		perClass   = flag.Int("per-class", 40, "samples per class per domain")
+		sources    = flag.Int("sources", 2, "source domains")
+		epochs     = flag.Int("retrain", 3, "retrain epochs")
+		adaptEp    = flag.Int("adapt-epochs", 10, "adaptation epochs")
+		confidence = flag.Float64("confidence", 0.005, "pseudo-label similarity margin")
+		rate       = flag.Float64("rate", 2.0, "adaptation learning rate")
+		seed       = flag.Uint64("seed", 42, "master RNG seed")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	cfg := pipeline.Config{
+		Encoder: encode.Config{
+			Dim: *dim, Sensors: *sensors, Levels: *levels, NGram: *ngram,
+			Min: -3, Max: 3, Seed: *seed,
+		},
+		Model: model.Config{
+			Dim: *dim, Classes: *classes,
+			RetrainEpochs: *epochs, AdaptEpochs: *adaptEp,
+			Confidence: *confidence, AdaptRate: *rate,
+		},
+		Data: data.Config{
+			Sensors: *sensors, Classes: *classes, WindowLen: *window,
+			PerClass: *perClass, Seed: *seed,
+			Domains: pipeline.DefaultDomains(*sources),
+		},
+		TrainFrac: 0.75,
+	}
+
+	start := time.Now()
+	res, err := pipeline.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smore:", err)
+		os.Exit(1)
+	}
+	res.Elapsed = time.Since(start).Round(time.Millisecond).String()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "smore:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("SMORE demo — dim=%d levels=%d ngram=%d sensors=%d classes=%d domains=%d+1\n",
+		*dim, *levels, *ngram, *sensors, *classes, *sources)
+	fmt.Printf("  source-domain test accuracy:   %.3f\n", res.SourceAccuracy)
+	fmt.Printf("  target baseline (no adapt):    %.3f\n", res.TargetBaseline)
+	fmt.Printf("  target after SMORE adaptation: %.3f\n", res.TargetAdapted)
+	fmt.Printf("  accuracy delta:                %+.3f\n", res.TargetAdapted-res.TargetBaseline)
+	fmt.Printf("  pseudo-labels applied: %d (skipped %d)  elapsed: %s\n",
+		res.Adapt.PseudoLabels, res.Adapt.Skipped, res.Elapsed)
+}

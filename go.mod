@@ -1,0 +1,3 @@
+module go-arxiv/smore
+
+go 1.24

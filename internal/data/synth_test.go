@@ -1,0 +1,163 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Sensors: 3, Classes: 3, WindowLen: 32, PerClass: 5, Seed: 11,
+		Domains: []Shift{
+			{Name: "clean", AmpScale: 1},
+			{Name: "shifted", AmpScale: 0.8, Offset: 0.2, Phase: 0.3, NoiseStd: 0.1},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"no sensors", func(c *Config) { c.Sensors = 0 }, false},
+		{"one class", func(c *Config) { c.Classes = 1 }, false},
+		{"short window", func(c *Config) { c.WindowLen = 1 }, false},
+		{"no samples", func(c *Config) { c.PerClass = 0 }, false},
+		{"no domains", func(c *Config) { c.Domains = nil }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := testConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Domains) != len(cfg.Domains) {
+		t.Fatalf("got %d domains, want %d", len(ds.Domains), len(cfg.Domains))
+	}
+	for d, samples := range ds.Domains {
+		if len(samples) != cfg.Classes*cfg.PerClass {
+			t.Fatalf("domain %d has %d samples, want %d", d, len(samples), cfg.Classes*cfg.PerClass)
+		}
+		perClass := map[int]int{}
+		for _, s := range samples {
+			if s.Domain != d {
+				t.Fatalf("sample in domain %d labeled domain %d", d, s.Domain)
+			}
+			if len(s.Window) != cfg.WindowLen {
+				t.Fatalf("window length %d, want %d", len(s.Window), cfg.WindowLen)
+			}
+			for _, row := range s.Window {
+				if len(row) != cfg.Sensors {
+					t.Fatalf("row has %d sensors, want %d", len(row), cfg.Sensors)
+				}
+			}
+			perClass[s.Class]++
+		}
+		for c := range cfg.Classes {
+			if perClass[c] != cfg.PerClass {
+				t.Fatalf("domain %d class %d has %d samples, want %d", d, c, perClass[c], cfg.PerClass)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.Domains {
+		for i := range a.Domains[d] {
+			sa, sb := a.Domains[d][i], b.Domains[d][i]
+			if sa.Class != sb.Class {
+				t.Fatal("same seed produced different labels")
+			}
+			for ti := range sa.Window {
+				for si := range sa.Window[ti] {
+					if sa.Window[ti][si] != sb.Window[ti][si] {
+						t.Fatal("same seed produced different values")
+					}
+				}
+			}
+		}
+	}
+	cfg := testConfig()
+	cfg.Seed = 12
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Domains[0][0].Window[0][0] == c.Domains[0][0].Window[0][0] {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestDomainShiftChangesSignal(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shifted domain's mean should sit near its DC offset, well away
+	// from the clean domain's near-zero mean.
+	mean := func(samples []Sample) float64 {
+		sum, n := 0.0, 0
+		for _, s := range samples {
+			for _, row := range s.Window {
+				for _, x := range row {
+					sum += x
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	clean, shifted := mean(ds.Domains[0]), mean(ds.Domains[1])
+	if math.Abs(clean) > 0.1 {
+		t.Fatalf("clean domain mean %v, want near 0", clean)
+	}
+	if math.Abs(shifted-0.2) > 0.1 {
+		t.Fatalf("shifted domain mean %v, want near its 0.2 offset", shifted)
+	}
+}
+
+func TestSplitAndAccessors(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := ds.Domains[0]
+	train, test := Split(samples, 0.8)
+	if len(train) != 12 || len(test) != 3 {
+		t.Fatalf("Split gave %d/%d, want 12/3", len(train), len(test))
+	}
+	ws, ls := Windows(samples), Labels(samples)
+	if len(ws) != len(samples) || len(ls) != len(samples) {
+		t.Fatal("Windows/Labels length mismatch")
+	}
+	for i := range samples {
+		if ls[i] != samples[i].Class {
+			t.Fatal("Labels misaligned")
+		}
+		if &ws[i][0] != &samples[i].Window[0] {
+			t.Fatal("Windows should reference the original windows")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package encode maps multi-sensor time-series windows into binary
+// hypervectors following the SMORE/DOMINO recipe: each (sensor, quantized
+// value) pair is bound as sensorID XOR levelHV, sensor terms are
+// majority-bundled into a per-timestep vector, consecutive timesteps form
+// permutation-shifted n-grams, and the n-grams are bundled into the final
+// window hypervector.
+package encode
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// Config parameterizes an Encoder.
+type Config struct {
+	Dim     int     // hypervector dimension, positive multiple of 64
+	Sensors int     // number of sensor channels
+	Levels  int     // quantization levels for sensor values, >= 2
+	NGram   int     // temporal n-gram length, >= 1
+	Min     float64 // lower clamp of the quantization range
+	Max     float64 // upper clamp of the quantization range
+	Seed    uint64  // seed for the item memories (ID and level vectors)
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	if err := hdc.CheckDim(c.Dim); err != nil {
+		return err
+	}
+	if c.Sensors < 1 {
+		return fmt.Errorf("encode: Sensors %d < 1", c.Sensors)
+	}
+	if c.Levels < 2 {
+		return fmt.Errorf("encode: Levels %d < 2", c.Levels)
+	}
+	if c.Levels-1 > c.Dim/2 {
+		return fmt.Errorf("encode: Levels %d needs at least %d dimensions to keep adjacent levels distinct", c.Levels, 2*(c.Levels-1))
+	}
+	if c.NGram < 1 {
+		return fmt.Errorf("encode: NGram %d < 1", c.NGram)
+	}
+	if !(c.Max > c.Min) {
+		return fmt.Errorf("encode: Max %v must exceed Min %v", c.Max, c.Min)
+	}
+	return nil
+}
+
+// Encoder holds the frozen item memories. It is safe for concurrent use
+// once constructed, since Encode only reads the memories.
+type Encoder struct {
+	cfg       Config
+	sensorIDs []hdc.Vector // one quasi-orthogonal ID per sensor
+	levels    []hdc.Vector // correlated level vectors, similarity decays with distance
+}
+
+// New builds the encoder's item memories deterministically from cfg.Seed.
+func New(cfg Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5eed))
+	e := &Encoder{cfg: cfg}
+	e.sensorIDs = make([]hdc.Vector, cfg.Sensors)
+	for s := range e.sensorIDs {
+		e.sensorIDs[s] = hdc.Random(rng, cfg.Dim)
+	}
+	// Level vectors: start from a random base and flip a disjoint random
+	// slice of Dim/2 bits spread over the levels, so adjacent levels are
+	// nearly identical and the extremes are quasi-orthogonal.
+	e.levels = make([]hdc.Vector, cfg.Levels)
+	e.levels[0] = hdc.Random(rng, cfg.Dim)
+	perm := rng.Perm(cfg.Dim)[:cfg.Dim/2]
+	per := len(perm) / (cfg.Levels - 1)
+	for l := 1; l < cfg.Levels; l++ {
+		v := e.levels[l-1].Clone()
+		lo, hi := (l-1)*per, l*per
+		if l == cfg.Levels-1 {
+			hi = len(perm)
+		}
+		for _, bit := range perm[lo:hi] {
+			v.FlipBit(bit)
+		}
+		e.levels[l] = v
+	}
+	return e, nil
+}
+
+// Config returns the encoder's configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Quantize maps a sensor value to its level index, clamping to [Min, Max].
+func (e *Encoder) Quantize(x float64) int {
+	c := e.cfg
+	if x <= c.Min {
+		return 0
+	}
+	if x >= c.Max {
+		return c.Levels - 1
+	}
+	l := int((x - c.Min) / (c.Max - c.Min) * float64(c.Levels))
+	if l > c.Levels-1 {
+		l = c.Levels - 1
+	}
+	return l
+}
+
+// Encode maps a window to a hypervector. window[t][s] is the value of
+// sensor s at timestep t; every row must have exactly cfg.Sensors values
+// and the window must hold at least NGram timesteps.
+func (e *Encoder) Encode(window [][]float64) (hdc.Vector, error) {
+	c := e.cfg
+	if len(window) < c.NGram {
+		return hdc.Vector{}, fmt.Errorf("encode: window of %d timesteps shorter than n-gram %d", len(window), c.NGram)
+	}
+	// Per-timestep spatial encoding: bundle of sensorID ⊗ level terms.
+	steps := make([]hdc.Vector, len(window))
+	bound := hdc.New(c.Dim)
+	stepAcc := hdc.NewAccumulator(c.Dim)
+	for t, row := range window {
+		if len(row) != c.Sensors {
+			return hdc.Vector{}, fmt.Errorf("encode: timestep %d has %d sensors, want %d", t, len(row), c.Sensors)
+		}
+		stepAcc.Reset()
+		for s, x := range row {
+			e.sensorIDs[s].BindInto(e.levels[e.Quantize(x)], &bound)
+			stepAcc.Add(bound, 1)
+		}
+		steps[t] = stepAcc.Majority()
+	}
+	// Temporal n-grams: gram(t) = Π_k permute(steps[t+k], NGram-1-k),
+	// bundled over all window positions.
+	winAcc := hdc.NewAccumulator(c.Dim)
+	gram := hdc.New(c.Dim)
+	shifted := hdc.New(c.Dim)
+	for t := 0; t+c.NGram <= len(steps); t++ {
+		steps[t].PermuteInto(c.NGram-1, &gram)
+		for k := 1; k < c.NGram; k++ {
+			steps[t+k].PermuteInto(c.NGram-1-k, &shifted)
+			gram.BindInto(shifted, &gram)
+		}
+		winAcc.Add(gram, 1)
+	}
+	return winAcc.Majority(), nil
+}
+
+// MustEncode is Encode for windows known to be well-formed; it panics on
+// error. Intended for tests and benchmarks.
+func (e *Encoder) MustEncode(window [][]float64) hdc.Vector {
+	v, err := e.Encode(window)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package encode
+
+import (
+	"encoding/hex"
+	"flag"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func testConfig() Config {
+	return Config{Dim: 512, Sensors: 3, Levels: 8, NGram: 3, Min: -2, Max: 2, Seed: 99}
+}
+
+// testWindow returns a deterministic 16-timestep, 3-sensor window.
+func testWindow() [][]float64 {
+	w := make([][]float64, 16)
+	for t := range w {
+		x := float64(t) / 16
+		w[t] = []float64{
+			math.Sin(2 * math.Pi * x),
+			math.Cos(4 * math.Pi * x),
+			2*x - 1,
+		}
+	}
+	return w
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"bad dim", func(c *Config) { c.Dim = 100 }, false},
+		{"no sensors", func(c *Config) { c.Sensors = 0 }, false},
+		{"one level", func(c *Config) { c.Levels = 1 }, false},
+		{"zero ngram", func(c *Config) { c.NGram = 0 }, false},
+		{"empty range", func(c *Config) { c.Min, c.Max = 1, 1 }, false},
+		{"inverted range", func(c *Config) { c.Min, c.Max = 2, -2 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	enc, err := New(testConfig()) // Min -2, Max 2, 8 levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{-10, 0}, {-2, 0}, {-1.99, 0},
+		{-0.01, 3}, {0, 4}, {1.99, 7}, {2, 7}, {10, 7},
+	}
+	for _, tt := range tests {
+		if got := enc.Quantize(tt.x); got != tt.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestLevelSimilarityDecays(t *testing.T) {
+	enc, err := New(Config{Dim: 4096, Sensors: 1, Levels: 8, NGram: 1, Min: 0, Max: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Similarity to level 0 must strictly decrease as the level index
+	// grows, and the extremes must be quasi-orthogonal.
+	prev := 1.1
+	for l := range enc.levels {
+		sim := enc.levels[0].Cosine(enc.levels[l])
+		if sim >= prev {
+			t.Fatalf("level %d similarity %.3f did not decrease (prev %.3f)", l, sim, prev)
+		}
+		prev = sim
+	}
+	if end := enc.levels[0].Cosine(enc.levels[len(enc.levels)-1]); math.Abs(end) > 0.1 {
+		t.Fatalf("extreme levels have similarity %.3f, want near 0", end)
+	}
+}
+
+func TestSensorIDsQuasiOrthogonal(t *testing.T) {
+	enc, err := New(Config{Dim: 4096, Sensors: 6, Levels: 4, NGram: 1, Min: 0, Max: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc.sensorIDs {
+		for j := i + 1; j < len(enc.sensorIDs); j++ {
+			if sim := enc.sensorIDs[i].Cosine(enc.sensorIDs[j]); math.Abs(sim) > 0.1 {
+				t.Fatalf("sensor IDs %d and %d have similarity %.3f", i, j, sim)
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MustEncode(testWindow()).Equal(b.MustEncode(testWindow())) {
+		t.Fatal("same seed and window produced different hypervectors")
+	}
+	cfg := testConfig()
+	cfg.Seed = 100
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MustEncode(testWindow()).Equal(c.MustEncode(testWindow())) {
+		t.Fatal("different seeds produced identical hypervectors")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode([][]float64{{0, 0, 0}}); err == nil {
+		t.Error("accepted a window shorter than the n-gram")
+	}
+	bad := testWindow()
+	bad[5] = []float64{1, 2}
+	if _, err := enc.Encode(bad); err == nil {
+		t.Error("accepted a timestep with the wrong sensor count")
+	}
+}
+
+func TestEncodeSimilarWindowsSimilarHVs(t *testing.T) {
+	// Encoding must be locally smooth: a lightly perturbed window stays
+	// far closer to the original than an unrelated window does.
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := enc.MustEncode(testWindow())
+	perturbed := testWindow()
+	rng := rand.New(rand.NewPCG(5, 6))
+	for t := range perturbed {
+		for s := range perturbed[t] {
+			perturbed[t][s] += 0.02 * rng.NormFloat64()
+		}
+	}
+	other := testWindow()
+	for t := range other {
+		for s := range other[t] {
+			other[t][s] = 2 * rng.Float64() * math.Cos(float64(3*t+s))
+		}
+	}
+	simNear := base.Cosine(enc.MustEncode(perturbed))
+	simFar := base.Cosine(enc.MustEncode(other))
+	if simNear < simFar+0.2 {
+		t.Fatalf("perturbed similarity %.3f not clearly above unrelated %.3f", simNear, simFar)
+	}
+}
+
+// TestEncodeGolden pins the exact encoder output for a fixed seed and
+// window, guarding the whole encode path (item memories, quantization,
+// binding, permutation, bundling) against silent behavioral drift.
+// Regenerate deliberately with: go test ./internal/encode -run Golden -update
+func TestEncodeGolden(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := enc.MustEncode(testWindow()).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(buf)
+	golden := filepath.Join("testdata", "encode_golden.hex")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("encoder output drifted from golden file; if intentional, rerun with -update\n got: %s…\nwant: %s…",
+			got[:64], strings.TrimSpace(string(want))[:64])
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	enc, err := New(Config{Dim: 4096, Sensors: 4, Levels: 32, NGram: 3, Min: -3, Max: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := make([][]float64, 64)
+	rng := rand.New(rand.NewPCG(2, 3))
+	for t := range window {
+		row := make([]float64, 4)
+		for s := range row {
+			row[s] = 3 * (2*rng.Float64() - 1)
+		}
+		window[t] = row
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		enc.MustEncode(window)
+	}
+}

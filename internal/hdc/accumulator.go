@@ -1,0 +1,94 @@
+package hdc
+
+// Accumulator is a signed per-bit counter used to bundle hypervectors and to
+// hold non-binarized class prototypes. Adding a vector with weight w adds +w
+// to every counter whose bit is 1 and -w to every counter whose bit is 0, so
+// Majority recovers the element-wise weighted majority vote. Negative
+// weights subtract a vector, which is what perceptron-style retraining and
+// prototype correction need.
+type Accumulator struct {
+	dim    int
+	counts []float64
+}
+
+// NewAccumulator returns an empty accumulator of the given dimension.
+func NewAccumulator(dim int) *Accumulator {
+	if err := CheckDim(dim); err != nil {
+		panic(err)
+	}
+	return &Accumulator{dim: dim, counts: make([]float64, dim)}
+}
+
+// Dim returns the dimension in bits.
+func (a *Accumulator) Dim() int { return a.dim }
+
+// Add accumulates v with the given weight.
+func (a *Accumulator) Add(v Vector, weight float64) {
+	if v.dim != a.dim {
+		panic("hdc: accumulator dimension mismatch")
+	}
+	for i := range a.counts {
+		if v.words[i/WordBits]>>(i%WordBits)&1 == 1 {
+			a.counts[i] += weight
+		} else {
+			a.counts[i] -= weight
+		}
+	}
+}
+
+// AddScaled adds every counter of other scaled by weight. It lets a model
+// seed a new prototype from a similarity-weighted mixture of existing ones.
+func (a *Accumulator) AddScaled(other *Accumulator, weight float64) {
+	if other.dim != a.dim {
+		panic("hdc: accumulator dimension mismatch")
+	}
+	for i, c := range other.counts {
+		a.counts[i] += c * weight
+	}
+}
+
+// Majority binarizes the accumulator: bit i is 1 when its counter is
+// positive and 0 when negative. Exact ties break on a deterministic
+// pseudo-random hash of the bit index so bundles of an even number of
+// vectors stay unbiased yet reproducible.
+func (a *Accumulator) Majority() Vector {
+	v := New(a.dim)
+	for i, c := range a.counts {
+		switch {
+		case c > 0:
+			v.SetBit(i, 1)
+		case c == 0:
+			v.SetBit(i, int(splitmix64(uint64(i))&1))
+		}
+	}
+	return v
+}
+
+// Reset zeroes all counters.
+func (a *Accumulator) Reset() {
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+}
+
+// Bundle is a convenience wrapper that majority-bundles vs with equal
+// weight. It panics if vs is empty or dimensions disagree.
+func Bundle(vs ...Vector) Vector {
+	if len(vs) == 0 {
+		panic("hdc: Bundle of no vectors")
+	}
+	acc := NewAccumulator(vs[0].dim)
+	for _, v := range vs {
+		acc.Add(v, 1)
+	}
+	return acc.Majority()
+}
+
+// splitmix64 is the SplitMix64 finalizer, used as a cheap deterministic
+// index hash for tie-breaking.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

@@ -1,0 +1,39 @@
+package hdc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVectorRoundTrip checks that any byte slice either fails to parse or
+// parses into a vector that re-serializes to exactly the same bytes, and
+// that parsing never panics or over-allocates.
+func FuzzVectorRoundTrip(f *testing.F) {
+	rng := testRNG(0xf022)
+	for _, dim := range []int{64, 128, 1024} {
+		buf, err := Random(rng, dim).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte("HDV1"))
+	f.Add([]byte("HDV1\x40\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of a successfully parsed vector failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not byte-identical: in %d bytes, out %d bytes", len(data), len(out))
+		}
+		var u Vector
+		if err := u.UnmarshalBinary(out); err != nil || !u.Equal(v) {
+			t.Fatalf("second round trip diverged: %v", err)
+		}
+	})
+}

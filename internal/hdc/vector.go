@@ -1,0 +1,224 @@
+// Package hdc implements bit-packed binary hypervectors and the core
+// hyperdimensional-computing operations SMORE builds on: XOR binding,
+// circular permutation, majority bundling, and Hamming/cosine similarity.
+//
+// A hypervector of dimension D (D > 0, multiple of 64) is stored as D/64
+// uint64 words, bit i living at words[i/64] >> (i%64) & 1. Binary bits map
+// to the bipolar values {0 -> -1, 1 -> +1}, which is why cosine similarity
+// reduces to 1 - 2*hamming/D.
+package hdc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// WordBits is the number of bits per storage word.
+const WordBits = 64
+
+// MaxDim bounds the dimension accepted by deserialization so a corrupt or
+// adversarial header cannot trigger a huge allocation.
+const MaxDim = 1 << 24
+
+// Vector is a dense binary hypervector. The zero value is unusable; create
+// vectors with New, Random, or UnmarshalBinary.
+type Vector struct {
+	dim   int
+	words []uint64
+}
+
+// New returns an all-zero vector of the given dimension. dim must be
+// positive and a multiple of WordBits.
+func New(dim int) Vector {
+	if err := CheckDim(dim); err != nil {
+		panic(err)
+	}
+	return Vector{dim: dim, words: make([]uint64, dim/WordBits)}
+}
+
+// CheckDim reports whether dim is a legal hypervector dimension.
+func CheckDim(dim int) error {
+	if dim <= 0 || dim%WordBits != 0 {
+		return fmt.Errorf("hdc: dimension %d must be a positive multiple of %d", dim, WordBits)
+	}
+	if dim > MaxDim {
+		return fmt.Errorf("hdc: dimension %d exceeds maximum %d", dim, MaxDim)
+	}
+	return nil
+}
+
+// Random returns a vector with i.i.d. uniform bits drawn from rng.
+func Random(rng *rand.Rand, dim int) Vector {
+	v := New(dim)
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	return v
+}
+
+// Dim returns the dimension in bits.
+func (v Vector) Dim() int { return v.dim }
+
+// Bit returns bit i as 0 or 1.
+func (v Vector) Bit(i int) int {
+	return int(v.words[i/WordBits] >> (i % WordBits) & 1)
+}
+
+// SetBit sets bit i to b (0 or 1).
+func (v Vector) SetBit(i, b int) {
+	if b&1 == 1 {
+		v.words[i/WordBits] |= 1 << (i % WordBits)
+	} else {
+		v.words[i/WordBits] &^= 1 << (i % WordBits)
+	}
+}
+
+// FlipBit inverts bit i.
+func (v Vector) FlipBit(i int) {
+	v.words[i/WordBits] ^= 1 << (i % WordBits)
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{dim: v.dim, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and u have identical dimension and bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.dim != u.dim {
+		return false
+	}
+	for i, w := range v.words {
+		if w != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v Vector) PopCount() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bind returns the element-wise XOR of v and u (bipolar multiplication).
+// Binding is its own inverse: Bind(Bind(a,b), b) == a.
+func (v Vector) Bind(u Vector) Vector {
+	out := New(v.dim)
+	v.BindInto(u, &out)
+	return out
+}
+
+// BindInto XORs v and u into dst, which must have the same dimension.
+func (v Vector) BindInto(u Vector, dst *Vector) {
+	mustSameDim(v, u)
+	mustSameDim(v, *dst)
+	for i, w := range v.words {
+		dst.words[i] = w ^ u.words[i]
+	}
+}
+
+// Permute returns v circularly rotated by k positions: the bit at index i
+// moves to index (i+k) mod Dim. Negative k rotates the other way, so
+// Permute(k) followed by Permute(-k) is the identity.
+func (v Vector) Permute(k int) Vector {
+	out := New(v.dim)
+	v.PermuteInto(k, &out)
+	return out
+}
+
+// PermuteInto writes Permute(k) into dst. dst must have the same dimension
+// as v and must not alias v's storage.
+func (v Vector) PermuteInto(k int, dst *Vector) {
+	mustSameDim(v, *dst)
+	n := len(v.words)
+	s := ((k % v.dim) + v.dim) % v.dim
+	wordShift, bitShift := s/WordBits, uint(s%WordBits)
+	if bitShift == 0 {
+		for i := range n {
+			dst.words[i] = v.words[((i-wordShift)%n+n)%n]
+		}
+		return
+	}
+	for i := range n {
+		lo := v.words[((i-wordShift)%n+n)%n]
+		hi := v.words[((i-wordShift-1)%n+n)%n]
+		dst.words[i] = lo<<bitShift | hi>>(WordBits-bitShift)
+	}
+}
+
+// Hamming returns the number of bit positions where v and u differ.
+func (v Vector) Hamming(u Vector) int {
+	mustSameDim(v, u)
+	n := 0
+	for i, w := range v.words {
+		n += bits.OnesCount64(w ^ u.words[i])
+	}
+	return n
+}
+
+// Cosine returns the cosine similarity of the bipolar interpretations of v
+// and u, i.e. 1 - 2*Hamming/Dim. It lies in [-1, 1]; unrelated random
+// vectors score near 0.
+func (v Vector) Cosine(u Vector) float64 {
+	return 1 - 2*float64(v.Hamming(u))/float64(v.dim)
+}
+
+func mustSameDim(a, b Vector) {
+	if a.dim != b.dim {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", a.dim, b.dim))
+	}
+}
+
+const (
+	magic      = "HDV1"
+	headerSize = 8 // 4-byte magic + uint32 dim
+)
+
+// MarshalBinary serializes v as a 4-byte magic, little-endian uint32
+// dimension, and the packed words in little-endian order.
+func (v Vector) MarshalBinary() ([]byte, error) {
+	if err := CheckDim(v.dim); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerSize+len(v.words)*8)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(v.dim))
+	for i, w := range v.words {
+		binary.LittleEndian.PutUint64(buf[headerSize+i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary parses the format produced by MarshalBinary, validating
+// the magic, dimension bounds, and payload length.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < headerSize {
+		return fmt.Errorf("hdc: truncated vector: %d bytes", len(data))
+	}
+	if string(data[:4]) != magic {
+		return fmt.Errorf("hdc: bad magic %q", data[:4])
+	}
+	dim := int(binary.LittleEndian.Uint32(data[4:]))
+	if err := CheckDim(dim); err != nil {
+		return err
+	}
+	want := headerSize + dim/WordBits*8
+	if len(data) != want {
+		return fmt.Errorf("hdc: payload length %d, want %d for dim %d", len(data), want, dim)
+	}
+	v.dim = dim
+	v.words = make([]uint64, dim/WordBits)
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(data[headerSize+i*8:])
+	}
+	return nil
+}

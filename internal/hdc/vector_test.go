@@ -1,0 +1,292 @@
+package hdc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x7e57))
+}
+
+func TestCheckDim(t *testing.T) {
+	tests := []struct {
+		name string
+		dim  int
+		ok   bool
+	}{
+		{"zero", 0, false},
+		{"negative", -64, false},
+		{"not multiple of 64", 100, false},
+		{"one word", 64, true},
+		{"typical", 4096, true},
+		{"max", MaxDim, true},
+		{"over max", MaxDim + 64, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := CheckDim(tt.dim); (err == nil) != tt.ok {
+				t.Errorf("CheckDim(%d) = %v, want ok=%v", tt.dim, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	v := New(128)
+	for _, i := range []int{0, 1, 63, 64, 127} {
+		if v.Bit(i) != 0 {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Fatalf("SetBit(%d,1) did not set", i)
+		}
+		v.FlipBit(i)
+		if v.Bit(i) != 0 {
+			t.Fatalf("FlipBit(%d) did not clear", i)
+		}
+	}
+	if v.PopCount() != 0 {
+		t.Fatalf("PopCount = %d after clearing all bits", v.PopCount())
+	}
+	v.SetBit(5, 1)
+	v.SetBit(70, 1)
+	if got := v.PopCount(); got != 2 {
+		t.Fatalf("PopCount = %d, want 2", got)
+	}
+}
+
+func TestBindSelfInverse(t *testing.T) {
+	rng := testRNG(1)
+	for trial := range 50 {
+		dim := 64 * (1 + rng.IntN(8))
+		a, b := Random(rng, dim), Random(rng, dim)
+		if got := a.Bind(b).Bind(b); !got.Equal(a) {
+			t.Fatalf("trial %d dim %d: Bind(Bind(a,b),b) != a", trial, dim)
+		}
+		if !a.Bind(a).Equal(New(dim)) {
+			t.Fatalf("trial %d: Bind(a,a) is not the zero vector", trial)
+		}
+		if !a.Bind(b).Equal(b.Bind(a)) {
+			t.Fatalf("trial %d: Bind is not commutative", trial)
+		}
+	}
+}
+
+func TestBindDistributesHamming(t *testing.T) {
+	// Binding with a common vector is an isometry: it preserves the
+	// Hamming distance between any two vectors.
+	rng := testRNG(2)
+	for range 20 {
+		a, b, c := Random(rng, 512), Random(rng, 512), Random(rng, 512)
+		if a.Hamming(b) != a.Bind(c).Hamming(b.Bind(c)) {
+			t.Fatal("binding with a common vector changed the Hamming distance")
+		}
+	}
+}
+
+// permuteRef is a bit-at-a-time reference implementation of Permute.
+func permuteRef(v Vector, k int) Vector {
+	out := New(v.Dim())
+	s := ((k % v.Dim()) + v.Dim()) % v.Dim()
+	for i := range v.Dim() {
+		out.SetBit((i+s)%v.Dim(), v.Bit(i))
+	}
+	return out
+}
+
+func TestPermuteMatchesReference(t *testing.T) {
+	rng := testRNG(3)
+	shifts := []int{0, 1, -1, 63, 64, 65, 127, 128, -64, -65, 1000, -1000}
+	for _, dim := range []int{64, 128, 448} {
+		v := Random(rng, dim)
+		for _, k := range shifts {
+			if got, want := v.Permute(k), permuteRef(v, k); !got.Equal(want) {
+				t.Errorf("dim %d: Permute(%d) disagrees with reference", dim, k)
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := testRNG(4)
+	for trial := range 50 {
+		dim := 64 * (1 + rng.IntN(8))
+		v := Random(rng, dim)
+		k := rng.IntN(3*dim) - dim
+		if !v.Permute(k).Permute(-k).Equal(v) {
+			t.Fatalf("trial %d: Permute(%d) then Permute(%d) is not identity at dim %d", trial, k, -k, dim)
+		}
+		if v.Permute(k).PopCount() != v.PopCount() {
+			t.Fatalf("trial %d: Permute(%d) changed the popcount", trial, k)
+		}
+		if !v.Permute(dim).Equal(v) {
+			t.Fatalf("trial %d: Permute(dim) is not identity", trial)
+		}
+	}
+}
+
+func TestHammingCosine(t *testing.T) {
+	rng := testRNG(5)
+	a := Random(rng, 1024)
+	if a.Hamming(a) != 0 {
+		t.Fatal("Hamming(a,a) != 0")
+	}
+	if a.Cosine(a) != 1 {
+		t.Fatal("Cosine(a,a) != 1")
+	}
+	inv := a.Clone()
+	for i := range inv.Dim() {
+		inv.FlipBit(i)
+	}
+	if got := a.Cosine(inv); got != -1 {
+		t.Fatalf("Cosine(a, ~a) = %v, want -1", got)
+	}
+	b := Random(rng, 1024)
+	if a.Hamming(b) != b.Hamming(a) {
+		t.Fatal("Hamming is not symmetric")
+	}
+	// Independent random vectors should be quasi-orthogonal: Hamming near
+	// dim/2 and cosine near 0 (within ~5 standard deviations of dim/4).
+	if c := a.Cosine(b); math.Abs(c) > 0.16 {
+		t.Fatalf("random vectors have cosine %v, expected near 0", c)
+	}
+}
+
+func TestBundlePreservesNearestNeighbor(t *testing.T) {
+	// A majority bundle must stay closer to each of its inputs than
+	// unrelated random vectors are, which is what makes associative
+	// recall work.
+	rng := testRNG(6)
+	for trial := range 10 {
+		a, b, c := Random(rng, 2048), Random(rng, 2048), Random(rng, 2048)
+		bundle := Bundle(a, b, c)
+		outsider := Random(rng, 2048)
+		for _, in := range []Vector{a, b, c} {
+			if bundle.Cosine(in) <= bundle.Cosine(outsider)+0.1 {
+				t.Fatalf("trial %d: bundle similarity to input %.3f not clearly above outsider %.3f",
+					trial, bundle.Cosine(in), bundle.Cosine(outsider))
+			}
+		}
+	}
+}
+
+func TestBundleMajorityBit(t *testing.T) {
+	// With three vectors, each output bit must equal the majority of the
+	// three input bits.
+	rng := testRNG(7)
+	a, b, c := Random(rng, 256), Random(rng, 256), Random(rng, 256)
+	bundle := Bundle(a, b, c)
+	for i := range bundle.Dim() {
+		want := 0
+		if a.Bit(i)+b.Bit(i)+c.Bit(i) >= 2 {
+			want = 1
+		}
+		if bundle.Bit(i) != want {
+			t.Fatalf("bit %d: bundle = %d, majority = %d", i, bundle.Bit(i), want)
+		}
+	}
+}
+
+func TestAccumulatorNegativeWeight(t *testing.T) {
+	rng := testRNG(8)
+	a, b := Random(rng, 256), Random(rng, 256)
+	acc := NewAccumulator(256)
+	acc.Add(a, 2)
+	acc.Add(b, 1)
+	acc.Add(b, -1) // cancels b entirely
+	if !acc.Majority().Equal(a) {
+		t.Fatal("subtracting a vector did not cancel its contribution")
+	}
+}
+
+func TestAccumulatorTieDeterminism(t *testing.T) {
+	mk := func() Vector {
+		acc := NewAccumulator(512)
+		return acc.Majority() // all counters zero: every bit is a tie
+	}
+	first := mk()
+	if !first.Equal(mk()) {
+		t.Fatal("tie-breaking is not deterministic")
+	}
+	// Ties should break pseudo-randomly, not all one way.
+	if pc := first.PopCount(); pc < 512/4 || pc > 512*3/4 {
+		t.Fatalf("tie-broken vector popcount %d is heavily biased", pc)
+	}
+}
+
+func TestAccumulatorAddScaled(t *testing.T) {
+	rng := testRNG(9)
+	v := Random(rng, 256)
+	src := NewAccumulator(256)
+	src.Add(v, 3)
+	dst := NewAccumulator(256)
+	dst.AddScaled(src, 0.5)
+	if !dst.Majority().Equal(v) {
+		t.Fatal("AddScaled did not transfer the source counters")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := testRNG(10)
+	for _, dim := range []int{64, 128, 4096} {
+		v := Random(rng, dim)
+		buf, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary dim %d: %v", dim, err)
+		}
+		var u Vector
+		if err := u.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("UnmarshalBinary dim %d: %v", dim, err)
+		}
+		if !u.Equal(v) {
+			t.Fatalf("round trip changed the vector at dim %d", dim)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid, err := Random(testRNG(11), 128).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", valid[:4]},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...)},
+		{"truncated payload", valid[:len(valid)-1]},
+		{"extra payload", append(append([]byte{}, valid...), 0)},
+		{"zero dim", []byte("HDV1\x00\x00\x00\x00")},
+		{"huge dim", []byte("HDV1\xff\xff\xff\xff")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var v Vector
+			if err := v.UnmarshalBinary(tt.data); err == nil {
+				t.Errorf("UnmarshalBinary accepted %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	a, b := New(64), New(128)
+	for name, fn := range map[string]func(){
+		"Bind":    func() { a.Bind(b) },
+		"Hamming": func() { a.Hamming(b) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on dimension mismatch", name)
+				}
+			}()
+			fn()
+		})
+	}
+}

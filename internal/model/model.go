@@ -1,0 +1,388 @@
+// Package model implements SMORE's associative-memory classifier and its
+// similarity-based domain adaptation. Training builds one class-prototype
+// set per source domain plus a domain prototype (the bundle of all of the
+// domain's samples). Inference on an unseen domain weights every source
+// model by the similarity of the query to that domain's prototype.
+// Adaptation scores unlabeled target samples against the ensemble,
+// pseudo-labels the high-confidence ones, and folds them into a dedicated
+// target model with similarity-proportional weights.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// Config parameterizes a Model.
+type Config struct {
+	Dim     int // hypervector dimension, must match the encoder
+	Classes int // number of classes
+
+	// RetrainEpochs is how many perceptron-style passes Train makes over
+	// the labeled data after the initial single-shot bundling.
+	RetrainEpochs int
+
+	// AdaptEpochs is how many passes Adapt makes over the unlabeled
+	// target samples.
+	AdaptEpochs int
+
+	// Confidence is the minimum similarity margin between the best and
+	// second-best class for a target sample to be pseudo-labeled.
+	Confidence float64
+
+	// AdaptRate scales the similarity-proportional weight of each
+	// pseudo-labeled update.
+	AdaptRate float64
+
+	// TopFrac caps, per pseudo-class and per epoch, the fraction of
+	// confident samples actually applied (most-confident first). This
+	// keeps one noisy class from flooding the update and collapsing the
+	// prototypes. Zero means the default of 0.5.
+	TopFrac float64
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	if err := hdc.CheckDim(c.Dim); err != nil {
+		return err
+	}
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("model: Classes %d < 2", c.Classes)
+	case c.RetrainEpochs < 0:
+		return fmt.Errorf("model: RetrainEpochs %d < 0", c.RetrainEpochs)
+	case c.AdaptEpochs < 1:
+		return fmt.Errorf("model: AdaptEpochs %d < 1", c.AdaptEpochs)
+	case c.Confidence < 0 || c.Confidence > 1:
+		return fmt.Errorf("model: Confidence %v outside [0,1]", c.Confidence)
+	case c.AdaptRate <= 0:
+		return fmt.Errorf("model: AdaptRate %v <= 0", c.AdaptRate)
+	case c.TopFrac < 0 || c.TopFrac > 1:
+		return fmt.Errorf("model: TopFrac %v outside [0,1]", c.TopFrac)
+	}
+	return nil
+}
+
+// Sample is one encoded training example.
+type Sample struct {
+	HV     hdc.Vector
+	Class  int
+	Domain int
+}
+
+// domainModel is the associative memory of a single domain.
+type domainModel struct {
+	id        int
+	classAcc  []*hdc.Accumulator
+	classProt []hdc.Vector // binarized prototypes, rebuilt after updates
+	domAcc    *hdc.Accumulator
+	domProt   hdc.Vector
+}
+
+func newDomainModel(id int, cfg Config) *domainModel {
+	dm := &domainModel{
+		id:       id,
+		classAcc: make([]*hdc.Accumulator, cfg.Classes),
+		domAcc:   hdc.NewAccumulator(cfg.Dim),
+	}
+	for c := range dm.classAcc {
+		dm.classAcc[c] = hdc.NewAccumulator(cfg.Dim)
+	}
+	return dm
+}
+
+func (dm *domainModel) rebinarize() {
+	dm.classProt = make([]hdc.Vector, len(dm.classAcc))
+	for c, acc := range dm.classAcc {
+		dm.classProt[c] = acc.Majority()
+	}
+	dm.domProt = dm.domAcc.Majority()
+}
+
+// scores fills dst with the cosine similarity of hv to each class prototype.
+func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
+	for c, p := range dm.classProt {
+		dst[c] = hv.Cosine(p)
+	}
+}
+
+// Model is the multi-domain associative memory.
+type Model struct {
+	cfg     Config
+	domains []*domainModel
+	adapted *domainModel // set by Adapt; nil until then
+}
+
+// New returns an untrained model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Train builds per-domain class prototypes from labeled samples: a
+// single-shot bundling pass followed by cfg.RetrainEpochs perceptron-style
+// correction passes that add each misclassified sample to its true class
+// and subtract it from the predicted class.
+func (m *Model) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("model: no training samples")
+	}
+	byDomain := map[int]*domainModel{}
+	for _, s := range samples {
+		if s.Class < 0 || s.Class >= m.cfg.Classes {
+			return fmt.Errorf("model: class %d outside [0,%d)", s.Class, m.cfg.Classes)
+		}
+		dm, ok := byDomain[s.Domain]
+		if !ok {
+			dm = newDomainModel(s.Domain, m.cfg)
+			byDomain[s.Domain] = dm
+		}
+		dm.classAcc[s.Class].Add(s.HV, 1)
+		dm.domAcc.Add(s.HV, 1)
+	}
+	m.domains = make([]*domainModel, 0, len(byDomain))
+	for _, dm := range byDomain {
+		dm.rebinarize()
+		m.domains = append(m.domains, dm)
+	}
+	sort.Slice(m.domains, func(i, j int) bool { return m.domains[i].id < m.domains[j].id })
+
+	scores := make([]float64, m.cfg.Classes)
+	for range m.cfg.RetrainEpochs {
+		for _, dm := range m.domains {
+			changed := false
+			for _, s := range samples {
+				if s.Domain != dm.id {
+					continue
+				}
+				dm.scores(s.HV, scores)
+				pred := argmax(scores)
+				if pred != s.Class {
+					dm.classAcc[s.Class].Add(s.HV, 1)
+					dm.classAcc[pred].Add(s.HV, -1)
+					changed = true
+				}
+			}
+			if changed {
+				dm.rebinarize()
+			}
+		}
+	}
+	return nil
+}
+
+// domainWeights returns similarity-proportional weights of hv against
+// every source domain prototype, normalized to sum to 1. Cosine is mapped
+// through (1+cos)/2 so weights stay non-negative and a domain nearly as
+// similar as the best one keeps a proportional share of the vote (rather
+// than a min-shift that would zero it out entirely).
+func (m *Model) domainWeights(hv hdc.Vector) []float64 {
+	w := make([]float64, len(m.domains))
+	sum := 0.0
+	for i, dm := range m.domains {
+		w[i] = (1 + hv.Cosine(dm.domProt)) / 2
+		sum += w[i]
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ensembleScores returns per-class scores of hv under the
+// similarity-weighted source ensemble.
+func (m *Model) ensembleScores(hv hdc.Vector) []float64 {
+	if len(m.domains) == 0 {
+		panic("model: Predict before Train")
+	}
+	total := make([]float64, m.cfg.Classes)
+	scores := make([]float64, m.cfg.Classes)
+	weights := m.domainWeights(hv)
+	for i, dm := range m.domains {
+		dm.scores(hv, scores)
+		for c, s := range scores {
+			total[c] += weights[i] * s
+		}
+	}
+	return total
+}
+
+// Predict classifies hv. After Adapt has run, the adapted target model is
+// used; otherwise the similarity-weighted source ensemble decides.
+func (m *Model) Predict(hv hdc.Vector) int {
+	if m.adapted != nil {
+		scores := make([]float64, m.cfg.Classes)
+		m.adapted.scores(hv, scores)
+		return argmax(scores)
+	}
+	return argmax(m.ensembleScores(hv))
+}
+
+// PredictSource classifies hv with the source ensemble only, ignoring any
+// adapted model. This is the no-adapt baseline.
+func (m *Model) PredictSource(hv hdc.Vector) int {
+	return argmax(m.ensembleScores(hv))
+}
+
+// AdaptStats reports what the adaptation loop did.
+type AdaptStats struct {
+	Epochs       int
+	PseudoLabels int // confident updates applied across all epochs
+	Skipped      int // samples below the confidence margin
+}
+
+// Adapt runs SMORE's similarity-based adaptation on unlabeled target
+// samples. The target model starts as the similarity-weighted mixture of
+// the source class accumulators (weighted by how close the bundled target
+// distribution is to each source domain prototype). Each epoch then scores
+// every target sample, pseudo-labels those whose best-vs-second-best margin
+// clears cfg.Confidence, and adds them to the pseudo class with weight
+// proportional to their similarity to the current prototype.
+func (m *Model) Adapt(targets []hdc.Vector) (AdaptStats, error) {
+	if len(m.domains) == 0 {
+		return AdaptStats{}, fmt.Errorf("model: Adapt before Train")
+	}
+	if len(targets) == 0 {
+		return AdaptStats{}, fmt.Errorf("model: no target samples")
+	}
+	cfg := m.cfg
+	tgt := newDomainModel(-1, cfg)
+	// Bundle the target distribution and weight each source domain's
+	// contribution to the initial target prototypes by its similarity.
+	for _, hv := range targets {
+		tgt.domAcc.Add(hv, 1)
+	}
+	weights := m.domainWeights(tgt.domAcc.Majority())
+	for i, dm := range m.domains {
+		for c := range tgt.classAcc {
+			tgt.classAcc[c].AddScaled(dm.classAcc[c], weights[i])
+		}
+	}
+	tgt.rebinarize()
+
+	topFrac := cfg.TopFrac
+	if topFrac == 0 {
+		topFrac = 0.5
+	}
+	stats := AdaptStats{}
+	scores := make([]float64, cfg.Classes)
+	type candidate struct {
+		idx    int
+		margin float64
+		sim    float64
+	}
+	byClass := make([][]candidate, cfg.Classes)
+	for range cfg.AdaptEpochs {
+		stats.Epochs++
+		for c := range byClass {
+			byClass[c] = byClass[c][:0]
+		}
+		for i, hv := range targets {
+			tgt.scores(hv, scores)
+			best, second := top2(scores)
+			if scores[best]-scores[second] < cfg.Confidence {
+				stats.Skipped++
+				continue
+			}
+			byClass[best] = append(byClass[best], candidate{
+				idx: i, margin: scores[best] - scores[second], sim: scores[best],
+			})
+		}
+		// Apply only the most confident fraction per pseudo-class so a
+		// single over-predicted class cannot drown out the others.
+		updated := false
+		for c, cands := range byClass {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].margin > cands[j].margin })
+			keep := max(1, int(float64(len(cands))*topFrac))
+			if len(cands) == 0 {
+				continue
+			}
+			for _, cand := range cands[:min(keep, len(cands))] {
+				// Similarity-proportional update: the closer the
+				// sample already is to the winning prototype, the
+				// more it reinforces it.
+				tgt.classAcc[c].Add(targets[cand.idx], cfg.AdaptRate*(1+cand.sim)/2)
+				stats.PseudoLabels++
+				updated = true
+			}
+		}
+		if !updated {
+			break
+		}
+		tgt.rebinarize()
+	}
+	m.adapted = tgt
+	return stats, nil
+}
+
+// Adapted reports whether Adapt has produced a target model.
+func (m *Model) Adapted() bool { return m.adapted != nil }
+
+// ResetAdaptation discards the adapted target model.
+func (m *Model) ResetAdaptation() { m.adapted = nil }
+
+// Accuracy scores hvs against labels with Predict.
+func (m *Model) Accuracy(hvs []hdc.Vector, labels []int) float64 {
+	return accuracy(hvs, labels, m.Predict)
+}
+
+// SourceAccuracy scores hvs against labels with PredictSource.
+func (m *Model) SourceAccuracy(hvs []hdc.Vector, labels []int) float64 {
+	return accuracy(hvs, labels, m.PredictSource)
+}
+
+func accuracy(hvs []hdc.Vector, labels []int, predict func(hdc.Vector) int) float64 {
+	if len(hvs) != len(labels) {
+		panic("model: hvs and labels length mismatch")
+	}
+	if len(hvs) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, hv := range hvs {
+		if predict(hv) == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(hvs))
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// top2 returns the indices of the largest and second-largest scores.
+func top2(xs []float64) (best, second int) {
+	best, second = 0, 1
+	if xs[1] > xs[0] {
+		best, second = 1, 0
+	}
+	for i := 2; i < len(xs); i++ {
+		switch {
+		case xs[i] > xs[best]:
+			second, best = best, i
+		case xs[i] > xs[second]:
+			second = i
+		}
+	}
+	return best, second
+}

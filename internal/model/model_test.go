@@ -1,0 +1,258 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+const testDim = 2048
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x30de1))
+}
+
+func testModelConfig() Config {
+	return Config{
+		Dim: testDim, Classes: 4,
+		RetrainEpochs: 2, AdaptEpochs: 5,
+		Confidence: 0.005, AdaptRate: 2,
+	}
+}
+
+// flip returns v with n distinct random bits flipped.
+func flip(rng *rand.Rand, v hdc.Vector, n int) hdc.Vector {
+	out := v.Clone()
+	for _, i := range rng.Perm(v.Dim())[:n] {
+		out.FlipBit(i)
+	}
+	return out
+}
+
+// cluster generates per-class prototypes and noisy samples around them.
+func cluster(rng *rand.Rand, classes, perClass, noiseBits, domain int) ([]hdc.Vector, []Sample) {
+	protos := make([]hdc.Vector, classes)
+	for c := range protos {
+		protos[c] = hdc.Random(rng, testDim)
+	}
+	var samples []Sample
+	for c := range classes {
+		for range perClass {
+			samples = append(samples, Sample{
+				HV: flip(rng, protos[c], noiseBits), Class: c, Domain: domain,
+			})
+		}
+	}
+	return protos, samples
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"bad dim", func(c *Config) { c.Dim = 7 }, false},
+		{"one class", func(c *Config) { c.Classes = 1 }, false},
+		{"negative retrain", func(c *Config) { c.RetrainEpochs = -1 }, false},
+		{"zero adapt epochs", func(c *Config) { c.AdaptEpochs = 0 }, false},
+		{"confidence over 1", func(c *Config) { c.Confidence = 1.5 }, false},
+		{"zero rate", func(c *Config) { c.AdaptRate = 0 }, false},
+		{"bad topfrac", func(c *Config) { c.TopFrac = 1.5 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testModelConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestTrainPredictSeparableClusters(t *testing.T) {
+	rng := testRNG(1)
+	_, samples := cluster(rng, 4, 20, testDim/3, 0)
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	hvs := make([]hdc.Vector, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		hvs[i], labels[i] = s.HV, s.Class
+	}
+	if acc := m.Accuracy(hvs, labels); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f on separable clusters, want >= 0.95", acc)
+	}
+	// Fresh samples from the same clusters must also classify correctly.
+	protos, _ := cluster(testRNG(1), 4, 1, 0, 0) // same RNG stream ⇒ same prototypes
+	for c, p := range protos {
+		if got := m.Predict(flip(rng, p, testDim/4)); got != c {
+			t.Fatalf("fresh sample of class %d predicted as %d", c, got)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(nil); err == nil {
+		t.Error("Train accepted an empty sample set")
+	}
+	bad := []Sample{{HV: hdc.New(testDim), Class: 99, Domain: 0}}
+	if err := m.Train(bad); err == nil {
+		t.Error("Train accepted an out-of-range class")
+	}
+	if _, err := m.Adapt([]hdc.Vector{hdc.New(testDim)}); err == nil {
+		t.Error("Adapt before Train did not error")
+	}
+}
+
+func TestMultiDomainEnsemble(t *testing.T) {
+	rng := testRNG(2)
+	protos, samples := cluster(rng, 4, 15, testDim/3, 0)
+	// Second source domain: same classes, consistently distorted by a
+	// fixed domain mask on top of per-sample noise.
+	mask := rng.Perm(testDim)[:testDim/5]
+	for c := range 4 {
+		for range 15 {
+			hv := flip(rng, protos[c], testDim/3)
+			for _, b := range mask {
+				hv.FlipBit(b)
+			}
+			samples = append(samples, Sample{HV: hv, Class: c, Domain: 1})
+		}
+	}
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	// Queries from each domain must classify correctly through the
+	// similarity-weighted ensemble.
+	for c, p := range protos {
+		if got := m.Predict(flip(rng, p, testDim/4)); got != c {
+			t.Fatalf("domain-0 query of class %d predicted as %d", c, got)
+		}
+	}
+}
+
+func TestAdaptMechanics(t *testing.T) {
+	rng := testRNG(3)
+	protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if m.Adapted() {
+		t.Fatal("Adapted() true before Adapt")
+	}
+	if _, err := m.Adapt(nil); err == nil {
+		t.Error("Adapt accepted an empty target set")
+	}
+	var targets []hdc.Vector
+	for c := range 4 {
+		for range 10 {
+			targets = append(targets, flip(rng, protos[c], testDim/3))
+		}
+	}
+	stats, err := m.Adapt(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Adapted() {
+		t.Fatal("Adapted() false after Adapt")
+	}
+	if stats.PseudoLabels == 0 {
+		t.Fatal("adaptation applied no pseudo-labels on well-separated targets")
+	}
+	// On an unshifted target the adapted model must retain the class
+	// structure.
+	for c, p := range protos {
+		if got := m.Predict(flip(rng, p, testDim/4)); got != c {
+			t.Fatalf("adapted model predicts class %d as %d", c, got)
+		}
+	}
+	m.ResetAdaptation()
+	if m.Adapted() {
+		t.Fatal("ResetAdaptation did not clear the adapted model")
+	}
+}
+
+func TestTop2(t *testing.T) {
+	tests := []struct {
+		xs           []float64
+		best, second int
+	}{
+		{[]float64{0.9, 0.1}, 0, 1},
+		{[]float64{0.1, 0.9}, 1, 0},
+		{[]float64{0.1, 0.5, 0.9}, 2, 1},
+		{[]float64{0.9, 0.5, 0.1}, 0, 1},
+		{[]float64{0.5, 0.9, 0.7, 0.8}, 1, 3},
+		{[]float64{-0.2, -0.1, -0.3}, 1, 0},
+	}
+	for _, tt := range tests {
+		best, second := top2(tt.xs)
+		if best != tt.best || second != tt.second {
+			t.Errorf("top2(%v) = %d,%d want %d,%d", tt.xs, best, second, tt.best, tt.second)
+		}
+	}
+}
+
+func BenchmarkSimilaritySearch(b *testing.B) {
+	rng := testRNG(4)
+	_, samples := cluster(rng, 8, 25, testDim/3, 0)
+	m, err := New(Config{Dim: testDim, Classes: 8, RetrainEpochs: 1, AdaptEpochs: 1, Confidence: 0.005, AdaptRate: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		b.Fatal(err)
+	}
+	query := samples[0].HV
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		m.Predict(query)
+	}
+}
+
+func BenchmarkAdapt(b *testing.B) {
+	rng := testRNG(5)
+	protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+	m, err := New(Config{Dim: testDim, Classes: 4, RetrainEpochs: 1, AdaptEpochs: 3, Confidence: 0.005, AdaptRate: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		b.Fatal(err)
+	}
+	var targets []hdc.Vector
+	for c := range 4 {
+		for range 25 {
+			targets = append(targets, flip(rng, protos[c], testDim/3))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := m.Adapt(targets); err != nil {
+			b.Fatal(err)
+		}
+		m.ResetAdaptation()
+	}
+}

@@ -1,0 +1,150 @@
+// Package pipeline wires the SMORE stages — synthetic data generation,
+// hypervector encoding, associative-memory training, and similarity-based
+// adaptation — into one reproducible run shared by the CLI demo and the
+// end-to-end tests.
+package pipeline
+
+import (
+	"fmt"
+
+	"go-arxiv/smore/internal/data"
+	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/model"
+)
+
+// Config is the full pipeline configuration. The last entry of
+// Data.Domains is treated as the unlabeled target domain; all earlier
+// entries are labeled source domains.
+type Config struct {
+	Encoder   encode.Config
+	Model     model.Config
+	Data      data.Config
+	TrainFrac float64 // fraction of each source domain used for training
+}
+
+// Result summarizes one pipeline run.
+type Result struct {
+	SourceAccuracy float64          `json:"source_accuracy"` // held-out source-domain accuracy
+	TargetBaseline float64          `json:"target_baseline"` // target accuracy before adaptation
+	TargetAdapted  float64          `json:"target_adapted"`  // target accuracy after adaptation
+	Adapt          model.AdaptStats `json:"adapt_stats"`
+	Elapsed        string           `json:"elapsed,omitempty"`
+}
+
+// DefaultDomains returns n mildly distorted source domains plus one
+// strongly shifted target domain, the shape the demo and tests use.
+func DefaultDomains(n int) []data.Shift {
+	if n < 1 {
+		n = 1
+	}
+	domains := make([]data.Shift, 0, n+1)
+	for i := range n {
+		domains = append(domains, data.Shift{
+			Name:     fmt.Sprintf("source-%d", i),
+			AmpScale: 1 + 0.1*float64(i),
+			Offset:   0.05 * float64(i),
+			Phase:    0.1 * float64(i),
+			NoiseStd: 0.05 + 0.02*float64(i),
+		})
+	}
+	domains = append(domains, data.Shift{
+		Name:     "target",
+		AmpScale: 0.9,
+		Offset:   0.15,
+		Phase:    0.3,
+		NoiseStd: 0.08,
+	})
+	return domains
+}
+
+// Run executes generate → encode → train → baseline-eval → adapt → eval.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Data.Domains) < 2 {
+		return nil, fmt.Errorf("pipeline: need at least one source and one target domain")
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		return nil, fmt.Errorf("pipeline: TrainFrac %v outside (0,1)", cfg.TrainFrac)
+	}
+	ds, err := data.Generate(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.New(cfg.Encoder)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := model.New(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	encodeSamples := func(samples []data.Sample) ([]model.Sample, error) {
+		out := make([]model.Sample, len(samples))
+		for i, s := range samples {
+			hv, err := enc.Encode(s.Window)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = model.Sample{HV: hv, Class: s.Class, Domain: s.Domain}
+		}
+		return out, nil
+	}
+
+	targetIdx := len(ds.Domains) - 1
+	var train, sourceTest []model.Sample
+	for d := 0; d < targetIdx; d++ {
+		tr, te := data.Split(ds.Domains[d], cfg.TrainFrac)
+		etr, err := encodeSamples(tr)
+		if err != nil {
+			return nil, err
+		}
+		ete, err := encodeSamples(te)
+		if err != nil {
+			return nil, err
+		}
+		train = append(train, etr...)
+		sourceTest = append(sourceTest, ete...)
+	}
+	target, err := encodeSamples(ds.Domains[targetIdx])
+	if err != nil {
+		return nil, err
+	}
+
+	if err := mdl.Train(train); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	res.SourceAccuracy = eval(sourceTest, mdl.PredictSource)
+	res.TargetBaseline = eval(target, mdl.PredictSource)
+
+	stats, err := mdl.Adapt(hvsOf(target))
+	if err != nil {
+		return nil, err
+	}
+	res.Adapt = stats
+	res.TargetAdapted = eval(target, mdl.Predict)
+	return res, nil
+}
+
+func hvsOf(samples []model.Sample) []hdc.Vector {
+	out := make([]hdc.Vector, len(samples))
+	for i, s := range samples {
+		out[i] = s.HV
+	}
+	return out
+}
+
+func eval(samples []model.Sample, predict func(hdc.Vector) int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, s := range samples {
+		if predict(s.HV) == s.Class {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(samples))
+}
