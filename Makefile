@@ -1,6 +1,20 @@
 GO ?= go
 
-.PHONY: build test race bench fuzz fmt vet demo clean
+# Benchmark-regression gate configuration (see cmd/benchjson). The committed
+# BENCH_N.json with the highest N is the performance baseline; bench-json
+# fails when any benchmark's ns/op regresses more than MAX_REGRESS against
+# it. When a deliberate perf change lands, commit a new BENCH_N.json and
+# bump BENCH_BASELINE here and in .github/workflows/ci.yml.
+BENCH_BASELINE ?= BENCH_2.json
+MAX_REGRESS ?= 0.25
+
+# Fuzzing knobs: CI fans these out as a matrix over every fuzz target and
+# caches the corpus between runs (see the fuzz job in ci.yml).
+FUZZPKG ?= ./internal/hdc
+FUZZ ?= FuzzVectorRoundTrip
+FUZZTIME ?= 30s
+
+.PHONY: build test race bench bench-json lint fuzz fmt vet demo clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +28,30 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
+# bench-json reruns the benchmark suite, snapshots it to BENCH_new.json in
+# the BENCH_N.json schema, and enforces the regression gate against
+# $(BENCH_BASELINE). Each benchmark runs BENCH_COUNT times and benchjson
+# keeps the fastest, damping scheduler noise on shared CI runners. Run
+# `go run ./cmd/benchjson -h` for the tool's flags.
+BENCH_COUNT ?= 3
+# bash + pipefail so a go-test failure cannot be masked by benchjson's exit
+# status (sh's pipeline status is the last command's only).
+bench-json: SHELL := /bin/bash
+bench-json:
+	set -o pipefail; \
+	$(GO) test -bench . -benchmem -run '^$$' -count $(BENCH_COUNT) ./... \
+		| $(GO) run ./cmd/benchjson -out BENCH_new.json -baseline $(BENCH_BASELINE) -max-regress $(MAX_REGRESS)
+
+# lint mirrors the CI lint job. Install the analyzers once, at the same
+# pinned versions CI uses (keep in sync with .github/workflows/ci.yml):
+#   $(GO) install honnef.co/go/tools/cmd/staticcheck@2025.1
+#   $(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.3
+lint:
+	staticcheck ./...
+	govulncheck ./...
+
 fuzz:
-	$(GO) test ./internal/hdc -run '^$$' -fuzz FuzzVectorRoundTrip -fuzztime 30s
+	$(GO) test $(FUZZPKG) -run '^$$' -fuzz '$(FUZZ)$$' -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -l -w .

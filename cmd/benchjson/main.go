@@ -1,0 +1,199 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_N.json snapshot schema and, when given a committed baseline,
+// enforces the benchmark-regression gate: any benchmark whose ns/op grows
+// by more than -max-regress (default 25%) fails the run. It is the tool
+// behind `make bench-json` and the CI bench job.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_new.json -baseline BENCH_2.json
+//
+// Repeated runs of the same benchmark (e.g. -count=3) keep the fastest
+// ns/op, which damps scheduler noise on shared CI runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result in the BENCH_N.json schema.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Package     string  `json:"package"`
+}
+
+// Report is the top-level BENCH_N.json schema.
+type Report struct {
+	Command    string      `json:"command"`
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches a benchmark result row, e.g.
+//
+//	BenchmarkEncode-8   78   14168573 ns/op   102656 B/op   71 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped from the recorded name and the
+// memory columns are optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench reads `go test -bench` output, attributing each benchmark to
+// the most recent `pkg:` header line. Repeats keep the fastest ns/op.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	index := map[string]int{} // package + name -> position in out
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns, Package: pkg}
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		key := pkg + "." + b.Name
+		if i, ok := index[key]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compare checks current against baseline and returns one violation string
+// per gate failure: a benchmark regressing by more than maxRegress, or a
+// baseline benchmark missing from the current run (so a speedup cannot be
+// "protected" by silently deleting its benchmark).
+func compare(baseline, current []Benchmark, maxRegress float64) []string {
+	byKey := map[string]Benchmark{}
+	for _, b := range current {
+		byKey[b.Package+"."+b.Name] = b
+	}
+	var violations []string
+	for _, base := range baseline {
+		cur, ok := byKey[base.Package+"."+base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s (%s): present in baseline but missing from this run", base.Name, base.Package))
+			continue
+		}
+		limit := base.NsPerOp * (1 + maxRegress)
+		if cur.NsPerOp > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s (%s): %.0f ns/op exceeds baseline %.0f ns/op by %+.1f%% (limit %+.0f%%)",
+					base.Name, base.Package, cur.NsPerOp, base.NsPerOp,
+					100*(cur.NsPerOp/base.NsPerOp-1), 100*maxRegress))
+		}
+	}
+	return violations
+}
+
+func run(in io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", "", "write the JSON snapshot to this file (default stdout)")
+		baseline   = fs.String("baseline", "", "BENCH_N.json to gate against; omit to skip the gate")
+		maxRegress = fs.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction")
+		command    = fs.String("command", "go test -bench . -benchmem -run ^$ ./...", "command string recorded in the snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	benches, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+	rep := Report{
+		Command:    *command,
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "" || *out == "-" {
+		if _, err := stdout.Write(buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *baseline == "" {
+		return 0
+	}
+	baseBuf, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson: read baseline:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(baseBuf, &base); err != nil {
+		fmt.Fprintln(stderr, "benchjson: parse baseline:", err)
+		return 1
+	}
+	violations := compare(base.Benchmarks, benches, *maxRegress)
+	if len(violations) == 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmarks within %+.0f%% of %s\n",
+			len(base.Benchmarks), 100**maxRegress, *baseline)
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchjson: %d benchmark regression(s) against %s:\n", len(violations), *baseline)
+	for _, v := range violations {
+		fmt.Fprintln(stderr, "  "+v)
+	}
+	return 1
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}

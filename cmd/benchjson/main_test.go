@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: go-arxiv/smore/internal/encode
+cpu: AMD EPYC
+BenchmarkEncode-8   	    5476	    215867 ns/op	   74176 B/op	      75 allocs/op
+PASS
+ok  	go-arxiv/smore/internal/encode	1.186s
+pkg: go-arxiv/smore/internal/hdc
+BenchmarkBind-8     	13972986	        92.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBind-8     	14000000	        90.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPermute-8  	 9136392	       127.4 ns/op
+PASS
+ok  	go-arxiv/smore/internal/hdc	2.347s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Benchmark{
+		{Name: "BenchmarkEncode", Iterations: 5476, NsPerOp: 215867, BytesPerOp: 74176, AllocsPerOp: 75, Package: "go-arxiv/smore/internal/encode"},
+		{Name: "BenchmarkBind", Iterations: 14000000, NsPerOp: 90.1, Package: "go-arxiv/smore/internal/hdc"},
+		{Name: "BenchmarkPermute", Iterations: 9136392, NsPerOp: 127.4, Package: "go-arxiv/smore/internal/hdc"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("benchmark %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBenchSeedSnapshot(t *testing.T) {
+	// The committed BENCH_1.json must stay parseable as a baseline.
+	buf, err := os.ReadFile(filepath.Join("..", "..", "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 || rep.Benchmarks[0].NsPerOp <= 0 {
+		t.Fatalf("BENCH_1.json parsed into %+v", rep)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, Package: "p"},
+		{Name: "BenchmarkB", NsPerOp: 200, Package: "p"},
+		{Name: "BenchmarkGone", NsPerOp: 50, Package: "p"},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1249, Package: "p"}, // +24.9%: within gate
+		{Name: "BenchmarkB", NsPerOp: 251, Package: "p"},  // +25.5%: regression
+		{Name: "BenchmarkNew", NsPerOp: 1, Package: "p"},  // new benchmarks are fine
+	}
+	violations := compare(base, cur, 0.25)
+	if len(violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0], "BenchmarkB") {
+		t.Errorf("first violation should flag BenchmarkB: %s", violations[0])
+	}
+	if !strings.Contains(violations[1], "BenchmarkGone") || !strings.Contains(violations[1], "missing") {
+		t.Errorf("second violation should flag the missing benchmark: %s", violations[1])
+	}
+	if v := compare(base[:2], cur[:2], 0.30); len(v) != 0 {
+		t.Errorf("looser gate still produced violations: %v", v)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+
+	// First run: snapshot only, no baseline.
+	var stdout, stderr bytes.Buffer
+	code := run(strings.NewReader(sampleOutput), &stdout, &stderr, []string{"-out", outPath})
+	if code != 0 {
+		t.Fatalf("snapshot run exited %d: %s", code, stderr.String())
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 || rep.Go == "" || rep.Command == "" {
+		t.Fatalf("unexpected snapshot: %+v", rep)
+	}
+
+	// Second run against that baseline with identical numbers: passes.
+	stderr.Reset()
+	if code := run(strings.NewReader(sampleOutput), &stdout, &stderr, []string{"-baseline", outPath}); code != 0 {
+		t.Fatalf("identical run failed the gate: %s", stderr.String())
+	}
+
+	// Third run with a large regression: fails.
+	regressed := strings.ReplaceAll(sampleOutput, "215867 ns/op", "515867 ns/op")
+	stderr.Reset()
+	if code := run(strings.NewReader(regressed), &stdout, &stderr, []string{"-baseline", outPath}); code != 1 {
+		t.Fatalf("regressed run exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "BenchmarkEncode") {
+		t.Fatalf("regression report does not name the benchmark: %s", stderr.String())
+	}
+
+	// Empty input is an error, not an empty snapshot.
+	if code := run(strings.NewReader("PASS\n"), &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("empty input exited %d, want 1", code)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 		confidence = flag.Float64("confidence", 0.005, "pseudo-label similarity margin")
 		rate       = flag.Float64("rate", 2.0, "adaptation learning rate")
 		seed       = flag.Uint64("seed", 42, "master RNG seed")
+		workers    = flag.Int("workers", 0, "worker-pool size for batch stages (0 = all cores)")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 			Domains: pipeline.DefaultDomains(*sources),
 		},
 		TrainFrac: 0.75,
+		Workers:   *workers,
 	}
 
 	start := time.Now()

@@ -8,9 +8,11 @@ package encode
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/parallel"
 )
 
 // Config parameterizes an Encoder.
@@ -91,9 +93,11 @@ func New(cfg Config) (*Encoder, error) {
 func (e *Encoder) Config() Config { return e.cfg }
 
 // Quantize maps a sensor value to its level index, clamping to [Min, Max].
+// NaN maps to level 0 so corrupt sensor readings stay in range instead of
+// hitting the implementation-defined float-to-int conversion.
 func (e *Encoder) Quantize(x float64) int {
 	c := e.cfg
-	if x <= c.Min {
+	if math.IsNaN(x) || x <= c.Min {
 		return 0
 	}
 	if x >= c.Max {
@@ -143,6 +147,27 @@ func (e *Encoder) Encode(window [][]float64) (hdc.Vector, error) {
 		winAcc.Add(gram, 1)
 	}
 	return winAcc.Majority(), nil
+}
+
+// EncodeBatch encodes windows concurrently on a pool of the given worker
+// count (workers <= 0 means GOMAXPROCS). Each window is encoded with its own
+// scratch state and written to its own output slot, so the result is
+// byte-identical for every worker count. On error the lowest-index failure
+// is returned and the partial results are discarded.
+func (e *Encoder) EncodeBatch(windows [][][]float64, workers int) ([]hdc.Vector, error) {
+	out := make([]hdc.Vector, len(windows))
+	err := parallel.NewPool(workers).ForEachErr(len(windows), func(i int) error {
+		hv, err := e.Encode(windows[i])
+		if err != nil {
+			return fmt.Errorf("window %d: %w", i, err)
+		}
+		out[i] = hv
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MustEncode is Encode for windows known to be well-formed; it panics on

@@ -1,6 +1,7 @@
 package encode
 
 import (
+	"bytes"
 	"encoding/hex"
 	"flag"
 	"math"
@@ -208,6 +209,64 @@ func TestEncodeGolden(t *testing.T) {
 	}
 }
 
+// TestEncodeBatchDeterministicAcrossWorkers is the batch-API determinism
+// contract: EncodeBatch must produce byte-identical hypervectors at worker
+// counts 1 and N. Run under -race in CI.
+func TestEncodeBatchDeterministicAcrossWorkers(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	windows := make([][][]float64, 37)
+	for i := range windows {
+		w := make([][]float64, 8+rng.IntN(8))
+		for t := range w {
+			row := make([]float64, 3)
+			for s := range row {
+				row[s] = 4*rng.Float64() - 2
+			}
+			w[t] = row
+		}
+		windows[i] = w
+	}
+	ref, err := enc.EncodeBatch(windows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8, 64} {
+		got, err := enc.EncodeBatch(windows, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			refBuf, err1 := ref[i].MarshalBinary()
+			gotBuf, err2 := got[i].MarshalBinary()
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !bytes.Equal(refBuf, gotBuf) {
+				t.Fatalf("workers=%d: window %d not byte-identical to workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestEncodeBatchError(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][][]float64{testWindow(), {{0, 0, 0}}, {{1, 2}}}
+	if _, err := enc.EncodeBatch(windows, 4); err == nil || !strings.Contains(err.Error(), "window 1") {
+		t.Fatalf("EncodeBatch error = %v, want lowest-index failure (window 1)", err)
+	}
+	out, err := enc.EncodeBatch(nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("EncodeBatch(nil) = %v, %v", out, err)
+	}
+}
+
 func BenchmarkEncode(b *testing.B) {
 	enc, err := New(Config{Dim: 4096, Sensors: 4, Levels: 32, NGram: 3, Min: -3, Max: 3, Seed: 1})
 	if err != nil {
@@ -226,5 +285,32 @@ func BenchmarkEncode(b *testing.B) {
 	b.ResetTimer()
 	for b.Loop() {
 		enc.MustEncode(window)
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	enc, err := New(Config{Dim: 4096, Sensors: 4, Levels: 32, NGram: 3, Min: -3, Max: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 3))
+	windows := make([][][]float64, 64)
+	for i := range windows {
+		w := make([][]float64, 64)
+		for t := range w {
+			row := make([]float64, 4)
+			for s := range row {
+				row[s] = 3 * (2*rng.Float64() - 1)
+			}
+			w[t] = row
+		}
+		windows[i] = w
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := enc.EncodeBatch(windows, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,14 +1,71 @@
 package hdc
 
+import (
+	"math"
+	"sync"
+)
+
 // Accumulator is a signed per-bit counter used to bundle hypervectors and to
 // hold non-binarized class prototypes. Adding a vector with weight w adds +w
 // to every counter whose bit is 1 and -w to every counter whose bit is 0, so
 // Majority recovers the element-wise weighted majority vote. Negative
 // weights subtract a vector, which is what perceptron-style retraining and
 // prototype correction need.
+//
+// Counters are fixed-point int32 values in units of 1/weightScale, so
+// fractional weights are quantized to the nearest 1/256 (a weight that
+// quantizes to zero is a no-op) and a counter saturates at ±(2^31 - 1) —
+// about ±8M accumulated units — rather than wrapping. The hot path — adds
+// with weight exactly ±1, which is all that encoding and single-shot
+// training ever issue — never touches the int32 counters at all: it ripples
+// the vector's words through a small bit-sliced staging battery (stagePlanes
+// uint64 planes per word, i.e. 64 counters advance per word operation) and
+// only expands to int32 when the battery fills, a fractional-weight add
+// arrives, or a reader needs the totals. Majority on a battery-only
+// accumulator binarizes straight from the planes with a word-parallel
+// magnitude comparison, never materializing per-bit integers.
+//
+// An Accumulator is not safe for concurrent use: because of the lazy
+// battery, even Majority may rewrite internal state. The one read-only
+// exception is the `other` argument of AddScaled, so a shared source
+// accumulator may seed several targets concurrently.
 type Accumulator struct {
 	dim    int
-	counts []float64
+	counts []int32  // flushed fixed-point counters, all zero unless dirty
+	planes []uint64 // stagePlanes bit-sliced planes of dim/64 words each
+	staged int32    // number of ±1 adds held in the planes (0..stageCap)
+	dirty  bool     // counts holds flushed data (planes-only path unusable)
+	ties   []uint64 // per-bit deterministic tie-break bits (shared, read-only)
+}
+
+const (
+	// weightScale is the fixed-point scale of the int32 counters.
+	weightScale = 256
+	// stagePlanes is the width of the bit-sliced staging counter; it can
+	// hold stageCap = 2^stagePlanes - 1 unit adds before a flush.
+	stagePlanes = 4
+	stageCap    = 1<<stagePlanes - 1
+	// maxWeight bounds |weight| in Add so the scaled fixed-point value
+	// (and a doubling of it in the branchless inner loop) stays well
+	// inside int32.
+	maxWeight = 1 << 20
+)
+
+// tieCache memoizes the per-dimension tie-break words: bit i of the mask is
+// splitmix64(i) & 1, the same deterministic pseudo-random vote the scalar
+// implementation used, so tie behavior is stable across releases.
+var tieCache sync.Map // int -> []uint64
+
+func tieWords(dim int) []uint64 {
+	if w, ok := tieCache.Load(dim); ok {
+		return w.([]uint64)
+	}
+	words := make([]uint64, dim/WordBits)
+	for i := range dim {
+		words[i/WordBits] |= (splitmix64(uint64(i)) & 1) << (i % WordBits)
+	}
+	w, _ := tieCache.LoadOrStore(dim, words)
+	return w.([]uint64)
 }
 
 // NewAccumulator returns an empty accumulator of the given dimension.
@@ -16,35 +73,180 @@ func NewAccumulator(dim int) *Accumulator {
 	if err := CheckDim(dim); err != nil {
 		panic(err)
 	}
-	return &Accumulator{dim: dim, counts: make([]float64, dim)}
+	return &Accumulator{
+		dim:    dim,
+		counts: make([]int32, dim),
+		planes: make([]uint64, stagePlanes*dim/WordBits),
+		ties:   tieWords(dim),
+	}
 }
 
 // Dim returns the dimension in bits.
 func (a *Accumulator) Dim() int { return a.dim }
 
-// Add accumulates v with the given weight.
+// plane returns the p-th bit-sliced staging plane.
+func (a *Accumulator) plane(p int) []uint64 {
+	n := a.dim / WordBits
+	return a.planes[p*n : (p+1)*n : (p+1)*n]
+}
+
+// Add accumulates v with the given weight. Weights other than ±1 are
+// quantized to the nearest 1/256; a weight that quantizes to zero is a no-op.
 func (a *Accumulator) Add(v Vector, weight float64) {
 	if v.dim != a.dim {
 		panic("hdc: accumulator dimension mismatch")
 	}
-	for i := range a.counts {
-		if v.words[i/WordBits]>>(i%WordBits)&1 == 1 {
-			a.counts[i] += weight
-		} else {
-			a.counts[i] -= weight
+	switch weight {
+	case 1:
+		a.addUnit(v.words, 0)
+	case -1:
+		// Subtracting v is the same as adding its complement: every
+		// one-bit contributes -1 and every zero-bit +1.
+		a.addUnit(v.words, ^uint64(0))
+	default:
+		if !(math.Abs(weight) <= maxWeight) {
+			// Catches NaN, ±Inf, and magnitudes whose scaled value
+			// would hit the implementation-defined float-to-int32
+			// conversion; fail loudly instead of corrupting counters
+			// architecture-dependently.
+			panic("hdc: accumulator weight outside ±2^20")
+		}
+		wgt := int32(math.Round(weight * weightScale))
+		if wgt == 0 {
+			return
+		}
+		a.flush()
+		a.addWeighted(v.words, wgt)
+	}
+}
+
+// addUnit ripples words (XORed with inv, so inv == ^0 adds the complement)
+// into the staging battery: one carry-propagating add across the planes
+// advances 64 counters per word operation.
+func (a *Accumulator) addUnit(words []uint64, inv uint64) {
+	if a.staged == stageCap {
+		a.flush()
+	}
+	n := a.dim / WordBits
+	p0 := a.planes[0*n : 1*n : 1*n]
+	p1 := a.planes[1*n : 2*n : 2*n]
+	p2 := a.planes[2*n : 3*n : 3*n]
+	p3 := a.planes[3*n : 4*n : 4*n]
+	for wi, w := range words {
+		carry := w ^ inv
+		if carry == 0 {
+			continue
+		}
+		t := p0[wi]
+		p0[wi] = t ^ carry
+		if carry &= t; carry == 0 {
+			continue
+		}
+		t = p1[wi]
+		p1[wi] = t ^ carry
+		if carry &= t; carry == 0 {
+			continue
+		}
+		t = p2[wi]
+		p2[wi] = t ^ carry
+		if carry &= t; carry == 0 {
+			continue
+		}
+		p3[wi] ^= carry
+	}
+	a.staged++
+}
+
+// flush expands the staging battery into the int32 counters: a battery
+// holding s adds of which ones were 1-bits contributes (2*ones - s) units.
+func (a *Accumulator) flush() {
+	if a.staged == 0 {
+		return
+	}
+	staged := a.staged
+	n := a.dim / WordBits
+	p0, p1, p2, p3 := a.plane(0), a.plane(1), a.plane(2), a.plane(3)
+	for wi := range n {
+		w0, w1, w2, w3 := p0[wi], p1[wi], p2[wi], p3[wi]
+		p0[wi], p1[wi], p2[wi], p3[wi] = 0, 0, 0, 0
+		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
+		for j := 0; j < WordBits; j++ {
+			ones := int32(w0>>j&1) | int32(w1>>j&1)<<1 | int32(w2>>j&1)<<2 | int32(w3>>j&1)<<3
+			c[j] = satAdd(c[j], (ones<<1-staged)*weightScale)
 		}
 	}
+	a.staged = 0
+	a.dirty = true
+}
+
+// satAdd adds two counters with int32 saturation, so a counter that hits a
+// rail sticks there instead of wrapping and flipping its majority sign.
+func satAdd(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	switch {
+	case s > math.MaxInt32:
+		return math.MaxInt32
+	case s < math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(s)
+}
+
+// addWeighted applies a general fixed-point weight with a branchless
+// word-chunked loop. Callers must flush the staging battery first.
+func (a *Accumulator) addWeighted(words []uint64, wgt int32) {
+	two := wgt * 2
+	for wi, w := range words {
+		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
+		for j := 0; j < WordBits; j++ {
+			c[j] = satAdd(c[j], int32(w>>j&1)*two-wgt)
+		}
+	}
+	a.dirty = true
 }
 
 // AddScaled adds every counter of other scaled by weight. It lets a model
 // seed a new prototype from a similarity-weighted mixture of existing ones.
+// Scaled counters are rounded to the nearest 1/256 unit. other is only
+// read, never mutated, so one source accumulator can seed many targets
+// concurrently; staged adds it still holds are folded in on the fly.
 func (a *Accumulator) AddScaled(other *Accumulator, weight float64) {
 	if other.dim != a.dim {
 		panic("hdc: accumulator dimension mismatch")
 	}
-	for i, c := range other.counts {
-		a.counts[i] += c * weight
+	if !(math.Abs(weight) <= maxWeight) {
+		panic("hdc: accumulator weight outside ±2^20")
 	}
+	a.flush()
+	staged := other.staged
+	o0, o1, o2, o3 := other.plane(0), other.plane(1), other.plane(2), other.plane(3)
+	for wi := range other.dim / WordBits {
+		w0, w1, w2, w3 := o0[wi], o1[wi], o2[wi], o3[wi]
+		oc := (*[WordBits]int32)(other.counts[wi*WordBits:])
+		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
+		for j := 0; j < WordBits; j++ {
+			ones := int32(w0>>j&1) | int32(w1>>j&1)<<1 | int32(w2>>j&1)<<2 | int32(w3>>j&1)<<3
+			// int64: a rail-saturated counter plus the staged
+			// contribution would wrap int32.
+			eff := int64(oc[j]) + int64((ones<<1-staged)*weightScale)
+			if eff != 0 {
+				// Saturate: a large counter times a large weight can
+				// leave int32, where the raw conversion would be
+				// implementation-defined. The float64 sum is exact
+				// (well under 2^53).
+				s := float64(c[j]) + math.Round(float64(eff)*weight)
+				switch {
+				case s > math.MaxInt32:
+					c[j] = math.MaxInt32
+				case s < math.MinInt32:
+					c[j] = math.MinInt32
+				default:
+					c[j] = int32(s)
+				}
+			}
+		}
+	}
+	a.dirty = true
 }
 
 // Majority binarizes the accumulator: bit i is 1 when its counter is
@@ -53,21 +255,70 @@ func (a *Accumulator) AddScaled(other *Accumulator, weight float64) {
 // vectors stay unbiased yet reproducible.
 func (a *Accumulator) Majority() Vector {
 	v := New(a.dim)
-	for i, c := range a.counts {
-		switch {
-		case c > 0:
-			v.SetBit(i, 1)
-		case c == 0:
-			v.SetBit(i, int(splitmix64(uint64(i))&1))
+	if !a.dirty {
+		a.majorityStaged(&v)
+		return v
+	}
+	a.flush()
+	for wi := range v.words {
+		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
+		var pos, zero uint64
+		for j := 0; j < WordBits; j++ {
+			// Branchless sign classification, total over int32:
+			// cj > 0 iff its sign bit is clear and it is nonzero.
+			// (Deriving the sign from -cj would misread MinInt32,
+			// which is reachable via AddScaled's saturation rail.)
+			cj := uint32(c[j])
+			nonzero := uint64((cj | -cj) >> 31)
+			pos |= (uint64(^cj>>31) & nonzero) << j
+			zero |= (nonzero ^ 1) << j
 		}
+		v.words[wi] = pos | zero&a.ties[wi]
 	}
 	return v
 }
 
+// majorityStaged binarizes directly from the staging battery without
+// expanding per-bit integers: counter i is 2*ones_i - staged, so bit i is 1
+// iff ones_i > staged/2, with a tie exactly when staged is even and
+// ones_i == staged/2. The plane-vs-constant comparison runs word-parallel.
+func (a *Accumulator) majorityStaged(v *Vector) {
+	if a.staged == 0 {
+		copy(v.words, a.ties) // every counter is zero: all ties
+		return
+	}
+	k := uint64(a.staged) / 2
+	even := a.staged%2 == 0
+	p0, p1, p2, p3 := a.plane(0), a.plane(1), a.plane(2), a.plane(3)
+	k0, k1, k2, k3 := -(k & 1), -(k >> 1 & 1), -(k >> 2 & 1), -(k >> 3 & 1)
+	for wi := range v.words {
+		// MSB-first compare of the 4-bit sliced ones-count against k.
+		gt, eq := uint64(0), ^uint64(0)
+		gt |= eq & p3[wi] &^ k3
+		eq &= ^(p3[wi] ^ k3)
+		gt |= eq & p2[wi] &^ k2
+		eq &= ^(p2[wi] ^ k2)
+		gt |= eq & p1[wi] &^ k1
+		eq &= ^(p1[wi] ^ k1)
+		gt |= eq & p0[wi] &^ k0
+		eq &= ^(p0[wi] ^ k0)
+		w := gt
+		if even {
+			w |= eq & a.ties[wi]
+		}
+		v.words[wi] = w
+	}
+}
+
 // Reset zeroes all counters.
 func (a *Accumulator) Reset() {
-	for i := range a.counts {
-		a.counts[i] = 0
+	if a.dirty {
+		clear(a.counts)
+		a.dirty = false
+	}
+	if a.staged != 0 {
+		clear(a.planes)
+		a.staged = 0
 	}
 }
 

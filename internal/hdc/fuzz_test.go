@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -34,6 +35,128 @@ func FuzzVectorRoundTrip(f *testing.F) {
 		var u Vector
 		if err := u.UnmarshalBinary(out); err != nil || !u.Equal(v) {
 			t.Fatalf("second round trip diverged: %v", err)
+		}
+	})
+}
+
+// fuzzVector builds a vector of at most maxWords words from raw bytes,
+// padding the tail with zeros. It returns a vector of at least one word.
+func fuzzVector(data []byte, maxWords int) Vector {
+	n := (len(data) + 7) / 8
+	if n < 1 {
+		n = 1
+	}
+	if n > maxWords {
+		n = maxWords
+	}
+	v := New(n * WordBits)
+	buf := make([]byte, n*8)
+	copy(buf, data)
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return v
+}
+
+// FuzzPermuteRoundTrip checks the word-level rotate against its algebraic
+// laws for arbitrary bit patterns and shifts: Permute(k) then Permute(-k)
+// is the identity, popcount is invariant, and the fast path agrees with the
+// bit-at-a-time reference implementation.
+func FuzzPermuteRoundTrip(f *testing.F) {
+	rng := testRNG(0xbeef)
+	for _, dim := range []int{64, 192, 512} {
+		buf, err := Random(rng, dim).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[8:], 17)
+		f.Add(buf[8:], -64)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		v := fuzzVector(data, 64)
+		got := v.Permute(k)
+		if got.PopCount() != v.PopCount() {
+			t.Fatalf("Permute(%d) changed popcount at dim %d", k, v.Dim())
+		}
+		if !got.Permute(-k).Equal(v) {
+			t.Fatalf("Permute(%d) then Permute(%d) is not identity at dim %d", k, -k, v.Dim())
+		}
+		if want := permuteRef(v, k); !got.Equal(want) {
+			t.Fatalf("Permute(%d) disagrees with bit-at-a-time reference at dim %d", k, v.Dim())
+		}
+	})
+}
+
+// refAccumulator is the scalar float64-per-bit accumulator the word-parallel
+// implementation replaced, kept as a differential-testing oracle.
+type refAccumulator struct {
+	counts []float64
+}
+
+func (r *refAccumulator) add(v Vector, weight float64) {
+	for i := range r.counts {
+		if v.Bit(i) == 1 {
+			r.counts[i] += weight
+		} else {
+			r.counts[i] -= weight
+		}
+	}
+}
+
+func (r *refAccumulator) majority() Vector {
+	v := New(len(r.counts))
+	for i, c := range r.counts {
+		switch {
+		case c > 0:
+			v.SetBit(i, 1)
+		case c == 0:
+			v.SetBit(i, int(splitmix64(uint64(i))&1))
+		}
+	}
+	return v
+}
+
+// FuzzAccumulatorParity drives the word-parallel accumulator and the scalar
+// reference through the same fuzzer-chosen op sequence and demands exactly
+// equal Majority outputs, ties included. Weights are sixteenth-integers so
+// both the fixed-point and the float64 arithmetic are exact and the two
+// implementations must agree bit for bit.
+func FuzzAccumulatorParity(f *testing.F) {
+	rng := testRNG(0xacc)
+	seed := make([]byte, 80)
+	for i := range seed {
+		seed[i] = byte(rng.Uint64())
+	}
+	f.Add(seed)
+	f.Add([]byte{0, 1, 2, 3, 255, 4, 128, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const dim = 128
+		acc := NewAccumulator(dim)
+		ref := &refAccumulator{counts: make([]float64, dim)}
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			switch {
+			case op == 0xff: // occasional reset
+				acc.Reset()
+				ref.counts = make([]float64, dim)
+			default:
+				// Sixteenth-integer weight in [-8, 8): exactly
+				// representable in both fixed point and float64.
+				weight := float64(int8(op)) / 16
+				v := New(dim)
+				buf := make([]byte, dim/8)
+				n := copy(buf, data)
+				data = data[n:]
+				for i := range v.words {
+					v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+				}
+				acc.Add(v, weight)
+				ref.add(v, weight)
+			}
+			if !acc.Majority().Equal(ref.majority()) {
+				t.Fatal("word-parallel Majority diverged from scalar reference")
+			}
 		}
 	})
 }

@@ -137,21 +137,37 @@ func (v Vector) Permute(k int) Vector {
 
 // PermuteInto writes Permute(k) into dst. dst must have the same dimension
 // as v and must not alias v's storage.
+//
+// The rotation runs word-at-a-time: a whole-word rotation is two copies of
+// contiguous regions, and a sub-word bit shift walks the source words once,
+// carrying the spilled high bits of the previous word into the next — no
+// per-word index arithmetic beyond a wrapping increment.
 func (v Vector) PermuteInto(k int, dst *Vector) {
 	mustSameDim(v, *dst)
 	n := len(v.words)
 	s := ((k % v.dim) + v.dim) % v.dim
 	wordShift, bitShift := s/WordBits, uint(s%WordBits)
 	if bitShift == 0 {
-		for i := range n {
-			dst.words[i] = v.words[((i-wordShift)%n+n)%n]
-		}
+		// dst[i] = v[(i - wordShift) mod n]: two contiguous block copies.
+		copy(dst.words[:wordShift], v.words[n-wordShift:])
+		copy(dst.words[wordShift:], v.words[:n-wordShift])
 		return
 	}
-	for i := range n {
-		lo := v.words[((i-wordShift)%n+n)%n]
-		hi := v.words[((i-wordShift-1)%n+n)%n]
+	// dst[i] = v[j]<<bitShift | v[j-1]>>(64-bitShift) with j = (i - wordShift)
+	// mod n. Walk j forward with a wrapping increment, reusing the previous
+	// source word as the cross-word carry.
+	j := n - wordShift
+	if j == n {
+		j = 0
+	}
+	hi := v.words[(j+n-1)%n]
+	for i := 0; i < n; i++ {
+		lo := v.words[j]
 		dst.words[i] = lo<<bitShift | hi>>(WordBits-bitShift)
+		hi = lo
+		if j++; j == n {
+			j = 0
+		}
 	}
 }
 

@@ -229,6 +229,115 @@ func TestAccumulatorAddScaled(t *testing.T) {
 	}
 }
 
+func TestAccumulatorAddScaledMixedStagingReadOnly(t *testing.T) {
+	rng := testRNG(12)
+	a, b := Random(rng, 256), Random(rng, 256)
+	// src holds both flushed counters (weight 2 goes through the general
+	// path) and staged ±1 adds still in the battery.
+	src := NewAccumulator(256)
+	src.Add(a, 2)
+	src.Add(b, 1)
+	src.Add(b, 1)
+	ref := NewAccumulator(256)
+	ref.Add(a, 2)
+	ref.Add(b, 1)
+	ref.Add(b, 1)
+	dst := NewAccumulator(256)
+	dst.AddScaled(src, 0.5)
+	// Halving every counter preserves all signs, so the majority must
+	// match the unscaled reference.
+	if !dst.Majority().Equal(ref.Majority()) {
+		t.Fatal("AddScaled missed the staged battery contribution")
+	}
+	// src must be observationally untouched: a second AddScaled sees the
+	// same totals.
+	dst2 := NewAccumulator(256)
+	dst2.AddScaled(src, 0.5)
+	if !dst2.Majority().Equal(dst.Majority()) {
+		t.Fatal("AddScaled mutated its source accumulator")
+	}
+}
+
+func TestMajorityAtSaturationRail(t *testing.T) {
+	// AddScaled saturates overflowing counters to MinInt32/MaxInt32;
+	// Majority must still read those as negative/positive. (A sign trick
+	// based on negation would overflow on MinInt32 and flip the bit.)
+	src := NewAccumulator(64)
+	zero := New(64)
+	for range 15 {
+		src.Add(zero, 1) // every counter -15 units, still staged
+	}
+	dst := NewAccumulator(64)
+	dst.AddScaled(src, 1<<20) // saturates every counter to MinInt32
+	if got := dst.Majority(); got.PopCount() != 0 {
+		t.Fatalf("negative-saturated counters binarized to %d one-bits, want 0", got.PopCount())
+	}
+	ones := zero.Clone()
+	for i := range 64 {
+		ones.SetBit(i, 1)
+	}
+	src2 := NewAccumulator(64)
+	for range 15 {
+		src2.Add(ones, 1)
+	}
+	dst2 := NewAccumulator(64)
+	dst2.AddScaled(src2, 1<<20) // saturates every counter to MaxInt32
+	if got := dst2.Majority(); got.PopCount() != 64 {
+		t.Fatalf("positive-saturated counters binarized to %d one-bits, want 64", got.PopCount())
+	}
+}
+
+func TestAddScaledFromSaturatedSourceWithStagedAdds(t *testing.T) {
+	// A source counter pinned at the positive rail plus one still-staged
+	// unit add must not wrap negative when AddScaled folds the battery in.
+	ones := New(64)
+	for i := range 64 {
+		ones.SetBit(i, 1)
+	}
+	src := NewAccumulator(64)
+	for range 16 {
+		src.Add(ones, 1<<20) // saturates every counter to MaxInt32
+	}
+	src.Add(ones, 1) // staged on top of the rail
+	dst := NewAccumulator(64)
+	dst.AddScaled(src, 1)
+	if got := dst.Majority(); got.PopCount() != 64 {
+		t.Fatalf("rail+staged source transferred as %d one-bits, want 64", got.PopCount())
+	}
+}
+
+func TestAccumulatorWeightedAddSaturates(t *testing.T) {
+	// 16 adds of the all-zero vector at the maximum weight total exactly
+	// -2^32 fixed-point units per counter: wrapping arithmetic would land
+	// every counter back on 0 (a tie), saturation pins them negative.
+	acc := NewAccumulator(64)
+	zero := New(64)
+	for range 16 {
+		acc.Add(zero, 1<<20)
+	}
+	if got := acc.Majority(); got.PopCount() != 0 {
+		t.Fatalf("saturating weighted adds binarized to %d one-bits, want 0", got.PopCount())
+	}
+}
+
+func TestAccumulatorNonFiniteWeightPanics(t *testing.T) {
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, op := range []func(){
+			func() { NewAccumulator(64).Add(New(64), w) },
+			func() { NewAccumulator(64).AddScaled(NewAccumulator(64), w) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("no panic for non-finite weight %v", w)
+					}
+				}()
+				op()
+			}()
+		}
+	}
+}
+
 func TestMarshalRoundTrip(t *testing.T) {
 	rng := testRNG(10)
 	for _, dim := range []int{64, 128, 4096} {

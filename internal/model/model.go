@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/parallel"
 )
 
 // Config parameterizes a Model.
@@ -55,11 +56,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("model: RetrainEpochs %d < 0", c.RetrainEpochs)
 	case c.AdaptEpochs < 1:
 		return fmt.Errorf("model: AdaptEpochs %d < 1", c.AdaptEpochs)
-	case c.Confidence < 0 || c.Confidence > 1:
+	case !(c.Confidence >= 0 && c.Confidence <= 1): // rejects NaN too
 		return fmt.Errorf("model: Confidence %v outside [0,1]", c.Confidence)
-	case c.AdaptRate <= 0:
-		return fmt.Errorf("model: AdaptRate %v <= 0", c.AdaptRate)
-	case c.TopFrac < 0 || c.TopFrac > 1:
+	// The bounds rail against hdc's fixed-point accumulator: rates below
+	// 1/128 can quantize every update to a no-op (the per-sample weight is
+	// AdaptRate*(1+sim)/2, and the accumulator resolves 1/256 steps), and
+	// rates above 2^20 exceed its weight range. NaN/Inf fail both bounds.
+	case !(c.AdaptRate >= 1.0/128 && c.AdaptRate <= 1<<20):
+		return fmt.Errorf("model: AdaptRate %v outside [1/128, 2^20]", c.AdaptRate)
+	case !(c.TopFrac >= 0 && c.TopFrac <= 1):
 		return fmt.Errorf("model: TopFrac %v outside [0,1]", c.TopFrac)
 	}
 	return nil
@@ -108,29 +113,31 @@ func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
 	}
 }
 
-// Model is the multi-domain associative memory.
-type Model struct {
+// Ensemble is the multi-domain associative memory: one model per source
+// domain, combined at inference time by similarity-weighted voting, plus an
+// optional adapted target model.
+type Ensemble struct {
 	cfg     Config
 	domains []*domainModel
 	adapted *domainModel // set by Adapt; nil until then
 }
 
-// New returns an untrained model.
-func New(cfg Config) (*Model, error) {
+// New returns an untrained ensemble.
+func New(cfg Config) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg}, nil
+	return &Ensemble{cfg: cfg}, nil
 }
 
-// Config returns the model's configuration.
-func (m *Model) Config() Config { return m.cfg }
+// Config returns the ensemble's configuration.
+func (m *Ensemble) Config() Config { return m.cfg }
 
 // Train builds per-domain class prototypes from labeled samples: a
 // single-shot bundling pass followed by cfg.RetrainEpochs perceptron-style
 // correction passes that add each misclassified sample to its true class
 // and subtract it from the predicted class.
-func (m *Model) Train(samples []Sample) error {
+func (m *Ensemble) Train(samples []Sample) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("model: no training samples")
 	}
@@ -183,7 +190,7 @@ func (m *Model) Train(samples []Sample) error {
 // through (1+cos)/2 so weights stay non-negative and a domain nearly as
 // similar as the best one keeps a proportional share of the vote (rather
 // than a min-shift that would zero it out entirely).
-func (m *Model) domainWeights(hv hdc.Vector) []float64 {
+func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
 	w := make([]float64, len(m.domains))
 	sum := 0.0
 	for i, dm := range m.domains {
@@ -204,7 +211,7 @@ func (m *Model) domainWeights(hv hdc.Vector) []float64 {
 
 // ensembleScores returns per-class scores of hv under the
 // similarity-weighted source ensemble.
-func (m *Model) ensembleScores(hv hdc.Vector) []float64 {
+func (m *Ensemble) ensembleScores(hv hdc.Vector) []float64 {
 	if len(m.domains) == 0 {
 		panic("model: Predict before Train")
 	}
@@ -222,7 +229,7 @@ func (m *Model) ensembleScores(hv hdc.Vector) []float64 {
 
 // Predict classifies hv. After Adapt has run, the adapted target model is
 // used; otherwise the similarity-weighted source ensemble decides.
-func (m *Model) Predict(hv hdc.Vector) int {
+func (m *Ensemble) Predict(hv hdc.Vector) int {
 	if m.adapted != nil {
 		scores := make([]float64, m.cfg.Classes)
 		m.adapted.scores(hv, scores)
@@ -233,8 +240,28 @@ func (m *Model) Predict(hv hdc.Vector) int {
 
 // PredictSource classifies hv with the source ensemble only, ignoring any
 // adapted model. This is the no-adapt baseline.
-func (m *Model) PredictSource(hv hdc.Vector) int {
+func (m *Ensemble) PredictSource(hv hdc.Vector) int {
 	return argmax(m.ensembleScores(hv))
+}
+
+// PredictBatch classifies every query concurrently on a pool of the given
+// worker count (workers <= 0 means GOMAXPROCS). Prediction only reads the
+// trained prototypes, so the output is identical for every worker count.
+func (m *Ensemble) PredictBatch(hvs []hdc.Vector, workers int) []int {
+	out := make([]int, len(hvs))
+	parallel.NewPool(workers).ForEach(len(hvs), func(i int) {
+		out[i] = m.Predict(hvs[i])
+	})
+	return out
+}
+
+// PredictSourceBatch is PredictBatch against the source ensemble only.
+func (m *Ensemble) PredictSourceBatch(hvs []hdc.Vector, workers int) []int {
+	out := make([]int, len(hvs))
+	parallel.NewPool(workers).ForEach(len(hvs), func(i int) {
+		out[i] = m.PredictSource(hvs[i])
+	})
+	return out
 }
 
 // AdaptStats reports what the adaptation loop did.
@@ -245,13 +272,25 @@ type AdaptStats struct {
 }
 
 // Adapt runs SMORE's similarity-based adaptation on unlabeled target
+// samples, using all available workers for the scoring passes. It is
+// exactly AdaptBatch(targets, 0).
+func (m *Ensemble) Adapt(targets []hdc.Vector) (AdaptStats, error) {
+	return m.AdaptBatch(targets, 0)
+}
+
+// AdaptBatch runs SMORE's similarity-based adaptation on unlabeled target
 // samples. The target model starts as the similarity-weighted mixture of
 // the source class accumulators (weighted by how close the bundled target
 // distribution is to each source domain prototype). Each epoch then scores
 // every target sample, pseudo-labels those whose best-vs-second-best margin
 // clears cfg.Confidence, and adds them to the pseudo class with weight
 // proportional to their similarity to the current prototype.
-func (m *Model) Adapt(targets []hdc.Vector) (AdaptStats, error) {
+//
+// Scoring runs concurrently on a pool of the given worker count (workers
+// <= 0 means GOMAXPROCS). Scores land in per-sample slots and candidates
+// are ranked by (margin, index), so the adapted model and the returned
+// stats are byte-identical for every worker count.
+func (m *Ensemble) AdaptBatch(targets []hdc.Vector, workers int) (AdaptStats, error) {
 	if len(m.domains) == 0 {
 		return AdaptStats{}, fmt.Errorf("model: Adapt before Train")
 	}
@@ -259,6 +298,7 @@ func (m *Model) Adapt(targets []hdc.Vector) (AdaptStats, error) {
 		return AdaptStats{}, fmt.Errorf("model: no target samples")
 	}
 	cfg := m.cfg
+	pool := parallel.NewPool(workers)
 	tgt := newDomainModel(-1, cfg)
 	// Bundle the target distribution and weight each source domain's
 	// contribution to the initial target prototypes by its similarity.
@@ -278,38 +318,55 @@ func (m *Model) Adapt(targets []hdc.Vector) (AdaptStats, error) {
 		topFrac = 0.5
 	}
 	stats := AdaptStats{}
-	scores := make([]float64, cfg.Classes)
 	type candidate struct {
 		idx    int
 		margin float64
 		sim    float64
 	}
+	// Per-sample scoring results and scratch; slot i (and its stripe of
+	// scoreBuf) is only written by the worker handling sample i.
+	preds := make([]candidate, len(targets))
+	confident := make([]bool, len(targets))
 	byClass := make([][]candidate, cfg.Classes)
+	classOf := make([]int, len(targets))
+	scoreBuf := make([]float64, len(targets)*cfg.Classes)
 	for range cfg.AdaptEpochs {
 		stats.Epochs++
+		pool.ForEach(len(targets), func(i int) {
+			scores := scoreBuf[i*cfg.Classes : (i+1)*cfg.Classes]
+			tgt.scores(targets[i], scores)
+			best, second := top2(scores)
+			margin := scores[best] - scores[second]
+			confident[i] = margin >= cfg.Confidence
+			classOf[i] = best
+			preds[i] = candidate{idx: i, margin: margin, sim: scores[best]}
+		})
 		for c := range byClass {
 			byClass[c] = byClass[c][:0]
 		}
-		for i, hv := range targets {
-			tgt.scores(hv, scores)
-			best, second := top2(scores)
-			if scores[best]-scores[second] < cfg.Confidence {
+		for i := range targets {
+			if !confident[i] {
 				stats.Skipped++
 				continue
 			}
-			byClass[best] = append(byClass[best], candidate{
-				idx: i, margin: scores[best] - scores[second], sim: scores[best],
-			})
+			byClass[classOf[i]] = append(byClass[classOf[i]], preds[i])
 		}
 		// Apply only the most confident fraction per pseudo-class so a
-		// single over-predicted class cannot drown out the others.
+		// single over-predicted class cannot drown out the others. Ties
+		// on margin break on the sample index to keep the update order
+		// fully deterministic.
 		updated := false
 		for c, cands := range byClass {
-			sort.Slice(cands, func(i, j int) bool { return cands[i].margin > cands[j].margin })
-			keep := max(1, int(float64(len(cands))*topFrac))
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].margin != cands[j].margin {
+					return cands[i].margin > cands[j].margin
+				}
+				return cands[i].idx < cands[j].idx
+			})
 			if len(cands) == 0 {
 				continue
 			}
+			keep := max(1, int(float64(len(cands))*topFrac))
 			for _, cand := range cands[:min(keep, len(cands))] {
 				// Similarity-proportional update: the closer the
 				// sample already is to the winning prototype, the
@@ -328,19 +385,32 @@ func (m *Model) Adapt(targets []hdc.Vector) (AdaptStats, error) {
 	return stats, nil
 }
 
+// AdaptedPrototypes returns the binarized class prototypes of the adapted
+// target model, or nil if Adapt has not run. The slice is freshly
+// allocated; the vectors share storage with the model and must be treated
+// as read-only.
+func (m *Ensemble) AdaptedPrototypes() []hdc.Vector {
+	if m.adapted == nil {
+		return nil
+	}
+	out := make([]hdc.Vector, len(m.adapted.classProt))
+	copy(out, m.adapted.classProt)
+	return out
+}
+
 // Adapted reports whether Adapt has produced a target model.
-func (m *Model) Adapted() bool { return m.adapted != nil }
+func (m *Ensemble) Adapted() bool { return m.adapted != nil }
 
 // ResetAdaptation discards the adapted target model.
-func (m *Model) ResetAdaptation() { m.adapted = nil }
+func (m *Ensemble) ResetAdaptation() { m.adapted = nil }
 
 // Accuracy scores hvs against labels with Predict.
-func (m *Model) Accuracy(hvs []hdc.Vector, labels []int) float64 {
+func (m *Ensemble) Accuracy(hvs []hdc.Vector, labels []int) float64 {
 	return accuracy(hvs, labels, m.Predict)
 }
 
 // SourceAccuracy scores hvs against labels with PredictSource.
-func (m *Model) SourceAccuracy(hvs []hdc.Vector, labels []int) float64 {
+func (m *Ensemble) SourceAccuracy(hvs []hdc.Vector, labels []int) float64 {
 	return accuracy(hvs, labels, m.PredictSource)
 }
 

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"bytes"
+	"math"
 	"math/rand/v2"
 	"testing"
 
@@ -59,8 +61,14 @@ func TestConfigValidate(t *testing.T) {
 		{"negative retrain", func(c *Config) { c.RetrainEpochs = -1 }, false},
 		{"zero adapt epochs", func(c *Config) { c.AdaptEpochs = 0 }, false},
 		{"confidence over 1", func(c *Config) { c.Confidence = 1.5 }, false},
+		{"nan confidence", func(c *Config) { c.Confidence = math.NaN() }, false},
 		{"zero rate", func(c *Config) { c.AdaptRate = 0 }, false},
+		{"nan rate", func(c *Config) { c.AdaptRate = math.NaN() }, false},
+		{"inf rate", func(c *Config) { c.AdaptRate = math.Inf(1) }, false},
+		{"huge rate", func(c *Config) { c.AdaptRate = 2e7 }, false},
+		{"sub-resolution rate", func(c *Config) { c.AdaptRate = 0.001 }, false},
 		{"bad topfrac", func(c *Config) { c.TopFrac = 1.5 }, false},
+		{"nan topfrac", func(c *Config) { c.TopFrac = math.NaN() }, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -190,6 +198,93 @@ func TestAdaptMechanics(t *testing.T) {
 	m.ResetAdaptation()
 	if m.Adapted() {
 		t.Fatal("ResetAdaptation did not clear the adapted model")
+	}
+}
+
+// TestAdaptBatchDeterministicAcrossWorkers is the batch-API determinism
+// contract: two identically trained ensembles adapted with worker counts 1
+// and N must end with byte-identical target prototypes and equal stats.
+// Run under -race in CI.
+func TestAdaptBatchDeterministicAcrossWorkers(t *testing.T) {
+	build := func() (*Ensemble, []hdc.Vector) {
+		rng := testRNG(21)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, err := New(testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 15 {
+				targets = append(targets, flip(rng, protos[c], testDim/3))
+			}
+		}
+		return m, targets
+	}
+
+	ref, targets := build()
+	refStats, err := ref.AdaptBatch(targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProt := ref.AdaptedPrototypes()
+	for _, workers := range []int{0, 3, 16} {
+		m, targets := build()
+		stats, err := m.AdaptBatch(targets, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats != refStats {
+			t.Fatalf("workers=%d: stats %+v differ from workers=1 %+v", workers, stats, refStats)
+		}
+		prot := m.AdaptedPrototypes()
+		if len(prot) != len(refProt) {
+			t.Fatalf("workers=%d: %d prototypes, want %d", workers, len(prot), len(refProt))
+		}
+		for c := range prot {
+			a, err1 := prot[c].MarshalBinary()
+			b, err2 := refProt[c].MarshalBinary()
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("workers=%d: class %d prototype not byte-identical to workers=1", workers, c)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := testRNG(22)
+	_, samples := cluster(rng, 4, 10, testDim/3, 0)
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	hvs := make([]hdc.Vector, len(samples))
+	for i, s := range samples {
+		hvs[i] = s.HV
+	}
+	for _, workers := range []int{1, 4} {
+		for i, pred := range m.PredictBatch(hvs, workers) {
+			if want := m.Predict(hvs[i]); pred != want {
+				t.Fatalf("workers=%d: PredictBatch[%d] = %d, Predict = %d", workers, i, pred, want)
+			}
+		}
+		for i, pred := range m.PredictSourceBatch(hvs, workers) {
+			if want := m.PredictSource(hvs[i]); pred != want {
+				t.Fatalf("workers=%d: PredictSourceBatch[%d] = %d, PredictSource = %d", workers, i, pred, want)
+			}
+		}
+	}
+	if m.AdaptedPrototypes() != nil {
+		t.Fatal("AdaptedPrototypes non-nil before Adapt")
 	}
 }
 

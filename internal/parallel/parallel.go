@@ -1,0 +1,80 @@
+// Package parallel is the shared worker pool behind the batch APIs
+// (encode.EncodeBatch, model PredictBatch/AdaptBatch). Work is split into
+// contiguous index ranges so each worker touches a cache-friendly slice of
+// the input, and results are always written to caller-owned per-index slots,
+// which makes every batch operation deterministic: the merged output is
+// identical for any worker count, including 1.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool bounds the number of goroutines a batch operation may use. The zero
+// value (and any non-positive size) behaves like a pool of GOMAXPROCS
+// workers; Pool values are freely copyable and safe for concurrent use.
+type Pool struct {
+	size int
+}
+
+// NewPool returns a pool of the given size; size <= 0 means GOMAXPROCS.
+func NewPool(size int) Pool { return Pool{size: size} }
+
+// Size returns the resolved worker count.
+func (p Pool) Size() int { return Workers(p.size) }
+
+// ForEach invokes fn(i) for every i in [0, n), spread across the pool's
+// workers as contiguous chunks. fn must only write to state owned by index
+// i (e.g. out[i]); under that contract the result is deterministic for any
+// pool size. ForEach returns once every call has finished. With one worker
+// (or n <= 1) it runs inline with no goroutines, so the sequential and
+// parallel paths share one code path.
+func (p Pool) ForEach(n int, fn func(i int)) {
+	w := p.Size()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := min(start+chunk, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: it runs fn over [0, n) and
+// returns the error of the lowest failing index (deterministic regardless
+// of worker count, since every index still runs).
+func (p Pool) ForEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	p.ForEach(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			hits := make([]int32, n)
+			NewPool(workers).ForEach(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicMerge(t *testing.T) {
+	const n = 257
+	ref := make([]int, n)
+	NewPool(1).ForEach(n, func(i int) { ref[i] = i * i })
+	got := make([]int, n)
+	NewPool(16).ForEach(n, func(i int) { got[i] = i * i })
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("slot %d differs across worker counts: %d vs %d", i, ref[i], got[i])
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := NewPool(workers).ForEachErr(100, func(i int) error {
+			if i == 90 || i == 37 || i == 62 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@37" {
+			t.Fatalf("workers=%d: err = %v, want fail@37", workers, err)
+		}
+	}
+	if err := NewPool(4).ForEachErr(10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	want := errors.New("boom")
+	if err := NewPool(4).ForEachErr(1, func(int) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("single-index error not propagated: %v", err)
+	}
+}

@@ -1,7 +1,9 @@
 // Package pipeline wires the SMORE stages — synthetic data generation,
 // hypervector encoding, associative-memory training, and similarity-based
 // adaptation — into one reproducible run shared by the CLI demo and the
-// end-to-end tests.
+// end-to-end tests. Encoding, prediction, and adaptation all go through the
+// batch APIs backed by the shared worker pool, so runs scale across cores
+// while staying byte-identical for every worker count.
 package pipeline
 
 import (
@@ -21,6 +23,7 @@ type Config struct {
 	Model     model.Config
 	Data      data.Config
 	TrainFrac float64 // fraction of each source domain used for training
+	Workers   int     // worker-pool size for batch stages; <= 0 means GOMAXPROCS
 }
 
 // Result summarizes one pipeline run.
@@ -80,13 +83,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	encodeSamples := func(samples []data.Sample) ([]model.Sample, error) {
+		windows := make([][][]float64, len(samples))
+		for i, s := range samples {
+			windows[i] = s.Window
+		}
+		hvs, err := enc.EncodeBatch(windows, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]model.Sample, len(samples))
 		for i, s := range samples {
-			hv, err := enc.Encode(s.Window)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = model.Sample{HV: hv, Class: s.Class, Domain: s.Domain}
+			out[i] = model.Sample{HV: hvs[i], Class: s.Class, Domain: s.Domain}
 		}
 		return out, nil
 	}
@@ -115,36 +122,40 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	srcHVs, srcClasses := hvsAndClasses(sourceTest)
+	tgtHVs, tgtClasses := hvsAndClasses(target)
 	res := &Result{}
-	res.SourceAccuracy = eval(sourceTest, mdl.PredictSource)
-	res.TargetBaseline = eval(target, mdl.PredictSource)
+	res.SourceAccuracy = evalBatch(srcHVs, srcClasses, mdl.PredictSourceBatch, cfg.Workers)
+	res.TargetBaseline = evalBatch(tgtHVs, tgtClasses, mdl.PredictSourceBatch, cfg.Workers)
 
-	stats, err := mdl.Adapt(hvsOf(target))
+	stats, err := mdl.AdaptBatch(tgtHVs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Adapt = stats
-	res.TargetAdapted = eval(target, mdl.Predict)
+	res.TargetAdapted = evalBatch(tgtHVs, tgtClasses, mdl.PredictBatch, cfg.Workers)
 	return res, nil
 }
 
-func hvsOf(samples []model.Sample) []hdc.Vector {
-	out := make([]hdc.Vector, len(samples))
+func hvsAndClasses(samples []model.Sample) ([]hdc.Vector, []int) {
+	hvs := make([]hdc.Vector, len(samples))
+	classes := make([]int, len(samples))
 	for i, s := range samples {
-		out[i] = s.HV
+		hvs[i], classes[i] = s.HV, s.Class
 	}
-	return out
+	return hvs, classes
 }
 
-func eval(samples []model.Sample, predict func(hdc.Vector) int) float64 {
-	if len(samples) == 0 {
+func evalBatch(hvs []hdc.Vector, classes []int, predictBatch func([]hdc.Vector, int) []int, workers int) float64 {
+	if len(hvs) == 0 {
 		return 0
 	}
+	preds := predictBatch(hvs, workers)
 	hits := 0
-	for _, s := range samples {
-		if predict(s.HV) == s.Class {
+	for i, c := range classes {
+		if preds[i] == c {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(samples))
+	return float64(hits) / float64(len(hvs))
 }
