@@ -14,7 +14,7 @@ FUZZPKG ?= ./internal/hdc
 FUZZ ?= FuzzVectorRoundTrip
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json lint fuzz fmt vet demo clean
+.PHONY: build test race bench bench-json lint fuzz fmt vet demo serve e2e clean
 
 build:
 	$(GO) build ./...
@@ -62,5 +62,20 @@ vet:
 demo:
 	$(GO) run ./cmd/smore
 
+# serve trains+saves a small model and boots the HTTP serving surface on it.
+# Endpoints: POST /v1/predict, POST /v1/adapt, GET /v1/model, /healthz,
+# /metrics (see cmd/smore-serve). Override ADDR/MODEL as needed.
+ADDR ?= 127.0.0.1:8080
+MODEL ?= /tmp/smore-model.smore
+serve:
+	$(GO) run ./cmd/smore -save $(MODEL) > /dev/null
+	$(GO) run ./cmd/smore-serve -load $(MODEL) -addr $(ADDR)
+
+# e2e boots smore-serve on a freshly trained bundle and round-trips every
+# endpoint with curl, including a byte-identical /v1/model export check.
+e2e:
+	./scripts/e2e_serve.sh
+
 clean:
 	$(GO) clean -testcache
+	rm -f BENCH_new.json

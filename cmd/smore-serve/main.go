@@ -1,0 +1,79 @@
+// Command smore-serve is the long-running HTTP serving surface around a
+// trained SMORE model bundle (written by `smore -save`): batched
+// encode→predict, incremental adaptation on unlabeled batches, model
+// export, and health/metrics endpoints.
+//
+//	smore-serve -load model.smore -addr :8080
+//
+//	POST /v1/predict  {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST /v1/adapt    {"windows": [[[...]]]} → {"stats": {...}}
+//	GET  /v1/model    canonical bundle bytes (byte-identical to the file)
+//	GET  /healthz     liveness + model summary
+//	GET  /metrics     per-endpoint and per-stage latency counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"go-arxiv/smore/internal/pipeline"
+	"go-arxiv/smore/internal/serve"
+)
+
+func main() {
+	var (
+		load     = flag.String("load", "", "model bundle to serve (required; written by smore -save)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker-pool size for encode/predict batches (0 = all cores)")
+		maxBatch = flag.Int("max-batch", 1024, "maximum windows per request")
+		maxBody  = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+	)
+	flag.Parse()
+	if *load == "" {
+		fmt.Fprintln(os.Stderr, "smore-serve: -load is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	b, err := pipeline.LoadBundleFile(*load)
+	if err != nil {
+		log.Fatalf("smore-serve: %v", err)
+	}
+	srv, err := serve.New(b, serve.Options{
+		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
+	})
+	if err != nil {
+		log.Fatalf("smore-serve: %v", err)
+	}
+	mcfg := b.Model.Config()
+	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v)",
+		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted())
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("smore-serve: shutdown: %v", err)
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("smore-serve: %v", err)
+	}
+	log.Print("smore-serve: shut down")
+}

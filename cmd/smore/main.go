@@ -35,6 +35,8 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "master RNG seed")
 		workers    = flag.Int("workers", 0, "worker-pool size for batch stages (0 = all cores)")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+		save       = flag.String("save", "", "write the trained+adapted model bundle to this file")
+		load       = flag.String("load", "", "load a model bundle instead of training (its encoder/model config overrides the flags; data flags must stay compatible)")
 	)
 	flag.Parse()
 
@@ -58,12 +60,37 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := pipeline.Run(cfg)
+	var art *pipeline.Artifacts
+	var err error
+	if *load != "" {
+		b, lerr := pipeline.LoadBundleFile(*load)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "smore:", lerr)
+			os.Exit(1)
+		}
+		cfg.Encoder = b.Encoder
+		cfg.Model = b.Model.Config()
+		art, err = pipeline.WithModel(cfg, b.Model)
+	} else {
+		art, err = pipeline.Train(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smore:", err)
+		os.Exit(1)
+	}
+	res, err := art.Evaluate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smore:", err)
 		os.Exit(1)
 	}
 	res.Elapsed = time.Since(start).Round(time.Millisecond).String()
+	if *save != "" {
+		if err := art.Bundle().SaveFile(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "smore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "smore: saved model bundle to %s\n", *save)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -75,7 +102,8 @@ func main() {
 		return
 	}
 	fmt.Printf("SMORE demo — dim=%d levels=%d ngram=%d sensors=%d classes=%d domains=%d+1\n",
-		*dim, *levels, *ngram, *sensors, *classes, *sources)
+		cfg.Encoder.Dim, cfg.Encoder.Levels, cfg.Encoder.NGram, cfg.Encoder.Sensors,
+		cfg.Model.Classes, len(cfg.Data.Domains)-1)
 	fmt.Printf("  source-domain test accuracy:   %.3f\n", res.SourceAccuracy)
 	fmt.Printf("  target baseline (no adapt):    %.3f\n", res.TargetBaseline)
 	fmt.Printf("  target after SMORE adaptation: %.3f\n", res.TargetAdapted)

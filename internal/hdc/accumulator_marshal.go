@@ -1,0 +1,74 @@
+package hdc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// accMagic versions the accumulator wire format; bump it on any layout
+	// change so stale snapshots fail loudly instead of parsing garbage.
+	accMagic      = "HAC1"
+	accHeaderSize = 8 // 4-byte magic + uint32 dim
+)
+
+// MarshaledSize returns the exact encoded size in bytes of an accumulator of
+// the given dimension, so callers can pre-validate frame lengths before
+// allocating.
+func MarshaledSize(dim int) int {
+	return accHeaderSize + dim*4
+}
+
+// MarshalBinary serializes the accumulator as a 4-byte magic, little-endian
+// uint32 dimension, and the dim little-endian int32 fixed-point counters.
+// The staging battery is flushed into the counters first, so marshaling
+// mutates internal state (but never the accumulated totals); the output is
+// deterministic for a given accumulated value.
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	if err := CheckDim(a.dim); err != nil {
+		return nil, err
+	}
+	a.flush()
+	buf := make([]byte, MarshaledSize(a.dim))
+	copy(buf, accMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(a.dim))
+	for i, c := range a.counts {
+		binary.LittleEndian.PutUint32(buf[accHeaderSize+i*4:], uint32(c))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary parses the format produced by MarshalBinary, validating
+// the magic, dimension bounds, and payload length before allocating, so a
+// corrupt or adversarial header cannot trigger an oversized allocation. The
+// loaded accumulator continues accumulating exactly where the saved one
+// left off.
+func (a *Accumulator) UnmarshalBinary(data []byte) error {
+	if len(data) < accHeaderSize {
+		return fmt.Errorf("hdc: truncated accumulator: %d bytes", len(data))
+	}
+	if string(data[:4]) != accMagic {
+		return fmt.Errorf("hdc: bad accumulator magic %q", data[:4])
+	}
+	dim := int(binary.LittleEndian.Uint32(data[4:]))
+	if err := CheckDim(dim); err != nil {
+		return err
+	}
+	if want := MarshaledSize(dim); len(data) != want {
+		return fmt.Errorf("hdc: accumulator payload length %d, want %d for dim %d", len(data), want, dim)
+	}
+	a.dim = dim
+	a.counts = make([]int32, dim)
+	a.planes = make([]uint64, stagePlanes*dim/WordBits)
+	a.staged = 0
+	a.ties = tieWords(dim)
+	a.dirty = false
+	for i := range a.counts {
+		c := int32(binary.LittleEndian.Uint32(data[accHeaderSize+i*4:]))
+		a.counts[i] = c
+		if c != 0 {
+			a.dirty = true
+		}
+	}
+	return nil
+}

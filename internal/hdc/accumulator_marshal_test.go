@@ -1,0 +1,140 @@
+package hdc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// addRandomOps drives acc through a deterministic mix of unit, negative,
+// fractional, and scaled adds so a marshal test exercises both the staging
+// battery and the flushed counters.
+func addRandomOps(t *testing.T, seed uint64, acc *Accumulator, ops int) {
+	t.Helper()
+	rng := testRNG(seed)
+	weights := []float64{1, 1, 1, -1, 0.5, -2.25, 3}
+	for i := range ops {
+		acc.Add(Random(rng, acc.Dim()), weights[i%len(weights)])
+	}
+}
+
+func TestAccumulatorMarshalRoundTrip(t *testing.T) {
+	const dim = 256
+	acc := NewAccumulator(dim)
+	addRandomOps(t, 0xabc, acc, 23)
+	want := acc.Majority()
+
+	buf, err := acc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != MarshaledSize(dim) {
+		t.Fatalf("marshaled %d bytes, want %d", len(buf), MarshaledSize(dim))
+	}
+	var got Accumulator
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != dim {
+		t.Fatalf("loaded dim %d, want %d", got.Dim(), dim)
+	}
+	if !got.Majority().Equal(want) {
+		t.Fatal("loaded accumulator's Majority differs from the original")
+	}
+	// Re-marshal must be byte-identical: the codec is canonical.
+	buf2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("re-marshal of a loaded accumulator is not byte-identical")
+	}
+}
+
+// TestAccumulatorMarshalResume checks the save→load→continue contract: adds
+// applied after a round trip must land exactly as they would have without
+// the round trip, including the ±1 staging-battery fast path.
+func TestAccumulatorMarshalResume(t *testing.T) {
+	const dim = 192
+	straight := NewAccumulator(dim)
+	addRandomOps(t, 0xd0d0, straight, 17)
+
+	resumed := NewAccumulator(dim)
+	addRandomOps(t, 0xd0d0, resumed, 17)
+	buf, err := resumed.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Accumulator
+	if err := loaded.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := testRNG(0x5e5)
+	extra := make([]Vector, 40)
+	for i := range extra {
+		extra[i] = Random(rng, dim)
+	}
+	for i, v := range extra {
+		w := 1.0
+		if i%3 == 0 {
+			w = -1
+		} else if i%7 == 0 {
+			w = 1.75
+		}
+		straight.Add(v, w)
+		loaded.Add(v, w)
+	}
+	if !loaded.Majority().Equal(straight.Majority()) {
+		t.Fatal("resumed accumulation diverged from straight-through accumulation")
+	}
+}
+
+func TestAccumulatorMarshalEmpty(t *testing.T) {
+	acc := NewAccumulator(64)
+	buf, err := acc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Accumulator
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	// An empty accumulator's Majority is the deterministic all-ties pattern.
+	if !got.Majority().Equal(acc.Majority()) {
+		t.Fatal("empty accumulator did not round-trip")
+	}
+}
+
+func TestAccumulatorUnmarshalErrors(t *testing.T) {
+	good, err := NewAccumulator(128).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDim := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(badDim[4:], 100) // not a multiple of 64
+	hugeDim := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(hugeDim[4:], 1<<30)
+	badMagic := bytes.Clone(good)
+	copy(badMagic, "NOPE")
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte("HAC")},
+		{"bad magic", badMagic},
+		{"bad dim", badDim},
+		{"huge dim", hugeDim},
+		{"truncated payload", good[:len(good)-4]},
+		{"oversized payload", append(bytes.Clone(good), 0, 0, 0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var a Accumulator
+			if err := a.UnmarshalBinary(tt.data); err == nil {
+				t.Error("UnmarshalBinary accepted corrupt input")
+			}
+		})
+	}
+}

@@ -87,6 +87,46 @@ func FuzzPermuteRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzAccumulatorUnmarshal checks that arbitrary bytes either fail to parse
+// or parse into an accumulator that re-serializes byte-identically and stays
+// fully usable (Majority, further adds). Allocation is bounded by the input
+// length because UnmarshalBinary validates the payload length against the
+// header's dimension before allocating.
+func FuzzAccumulatorUnmarshal(f *testing.F) {
+	rng := testRNG(0x5a7e)
+	for _, dim := range []int{64, 256} {
+		acc := NewAccumulator(dim)
+		for range 9 {
+			acc.Add(Random(rng, dim), 1)
+		}
+		acc.Add(Random(rng, dim), -2.5)
+		buf, err := acc.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte("HAC1"))
+	f.Add([]byte("HAC1\x40\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Accumulator
+		if err := a.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of a successfully parsed accumulator failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not byte-identical: in %d bytes, out %d bytes", len(data), len(out))
+		}
+		// The loaded accumulator must keep working: a further unit add goes
+		// through the staging battery and Majority must not panic.
+		a.Add(New(a.Dim()), 1)
+		a.Majority()
+	})
+}
+
 // refAccumulator is the scalar float64-per-bit accumulator the word-parallel
 // implementation replaced, kept as a differential-testing oracle.
 type refAccumulator struct {

@@ -10,6 +10,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"go-arxiv/smore/internal/hdc"
@@ -79,18 +80,20 @@ type Sample struct {
 
 // domainModel is the associative memory of a single domain.
 type domainModel struct {
-	id        int
-	classAcc  []*hdc.Accumulator
-	classProt []hdc.Vector // binarized prototypes, rebuilt after updates
-	domAcc    *hdc.Accumulator
-	domProt   hdc.Vector
+	id         int
+	classAcc   []*hdc.Accumulator
+	classCount []int64      // training samples (or pseudo-labels) seen per class
+	classProt  []hdc.Vector // binarized prototypes, rebuilt after updates
+	domAcc     *hdc.Accumulator
+	domProt    hdc.Vector
 }
 
 func newDomainModel(id int, cfg Config) *domainModel {
 	dm := &domainModel{
-		id:       id,
-		classAcc: make([]*hdc.Accumulator, cfg.Classes),
-		domAcc:   hdc.NewAccumulator(cfg.Dim),
+		id:         id,
+		classAcc:   make([]*hdc.Accumulator, cfg.Classes),
+		classCount: make([]int64, cfg.Classes),
+		domAcc:     hdc.NewAccumulator(cfg.Dim),
 	}
 	for c := range dm.classAcc {
 		dm.classAcc[c] = hdc.NewAccumulator(cfg.Dim)
@@ -107,8 +110,15 @@ func (dm *domainModel) rebinarize() {
 }
 
 // scores fills dst with the cosine similarity of hv to each class prototype.
+// A class this domain has never seen has an empty accumulator whose Majority
+// is pure tie-break noise; scoring it at full strength would let noise win
+// argmax, so never-trained classes are excluded with a -Inf score.
 func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
 	for c, p := range dm.classProt {
+		if dm.classCount[c] == 0 {
+			dst[c] = math.Inf(-1)
+			continue
+		}
 		dst[c] = hv.Cosine(p)
 	}
 }
@@ -152,6 +162,7 @@ func (m *Ensemble) Train(samples []Sample) error {
 			byDomain[s.Domain] = dm
 		}
 		dm.classAcc[s.Class].Add(s.HV, 1)
+		dm.classCount[s.Class]++
 		dm.domAcc.Add(s.HV, 1)
 	}
 	m.domains = make([]*domainModel, 0, len(byDomain))
@@ -185,6 +196,16 @@ func (m *Ensemble) Train(samples []Sample) error {
 	return nil
 }
 
+// simWeight maps a cosine similarity to a non-negative vote weight through
+// (1+cos)/2, clamping NaN to similarity 0 (the unrelated-vector score) so a
+// degenerate prototype cannot poison the normalized weight vector.
+func simWeight(cos float64) float64 {
+	if math.IsNaN(cos) {
+		cos = 0
+	}
+	return (1 + cos) / 2
+}
+
 // domainWeights returns similarity-proportional weights of hv against
 // every source domain prototype, normalized to sum to 1. Cosine is mapped
 // through (1+cos)/2 so weights stay non-negative and a domain nearly as
@@ -194,7 +215,7 @@ func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
 	w := make([]float64, len(m.domains))
 	sum := 0.0
 	for i, dm := range m.domains {
-		w[i] = (1 + hv.Cosine(dm.domProt)) / 2
+		w[i] = simWeight(hv.Cosine(dm.domProt))
 		sum += w[i]
 	}
 	if sum == 0 {
@@ -210,19 +231,34 @@ func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
 }
 
 // ensembleScores returns per-class scores of hv under the
-// similarity-weighted source ensemble.
+// similarity-weighted source ensemble. Each class's score is the weighted
+// mean over the domains that have actually seen the class, so a domain
+// missing a class abstains on it instead of voting noise; a class no domain
+// has seen scores -Inf and can never win.
 func (m *Ensemble) ensembleScores(hv hdc.Vector) []float64 {
 	if len(m.domains) == 0 {
 		panic("model: Predict before Train")
 	}
 	total := make([]float64, m.cfg.Classes)
+	wsum := make([]float64, m.cfg.Classes)
 	scores := make([]float64, m.cfg.Classes)
 	weights := m.domainWeights(hv)
 	for i, dm := range m.domains {
 		dm.scores(hv, scores)
 		for c, s := range scores {
+			if dm.classCount[c] == 0 {
+				continue
+			}
 			total[c] += weights[i] * s
+			wsum[c] += weights[i]
 		}
+	}
+	for c := range total {
+		if wsum[c] == 0 {
+			total[c] = math.Inf(-1)
+			continue
+		}
+		total[c] /= wsum[c]
 	}
 	return total
 }
@@ -266,9 +302,9 @@ func (m *Ensemble) PredictSourceBatch(hvs []hdc.Vector, workers int) []int {
 
 // AdaptStats reports what the adaptation loop did.
 type AdaptStats struct {
-	Epochs       int
-	PseudoLabels int // confident updates applied across all epochs
-	Skipped      int // samples below the confidence margin
+	Epochs       int `json:"epochs"`
+	PseudoLabels int `json:"pseudo_labels"` // confident updates applied across all epochs
+	Skipped      int `json:"skipped"`       // samples below the confidence margin
 }
 
 // Adapt runs SMORE's similarity-based adaptation on unlabeled target
@@ -291,6 +327,20 @@ func (m *Ensemble) Adapt(targets []hdc.Vector) (AdaptStats, error) {
 // are ranked by (margin, index), so the adapted model and the returned
 // stats are byte-identical for every worker count.
 func (m *Ensemble) AdaptBatch(targets []hdc.Vector, workers int) (AdaptStats, error) {
+	return m.adapt(targets, workers, false)
+}
+
+// AdaptIncremental folds one more batch of unlabeled target samples into the
+// existing adapted model instead of rebuilding it from the source mixture,
+// so target data can arrive in batches (the streaming/serving path). The
+// first call behaves exactly like AdaptBatch; later calls keep the adapted
+// prototypes and extend the target domain prototype with the new batch.
+// Workers <= 0 means GOMAXPROCS.
+func (m *Ensemble) AdaptIncremental(targets []hdc.Vector, workers int) (AdaptStats, error) {
+	return m.adapt(targets, workers, true)
+}
+
+func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (AdaptStats, error) {
 	if len(m.domains) == 0 {
 		return AdaptStats{}, fmt.Errorf("model: Adapt before Train")
 	}
@@ -299,19 +349,30 @@ func (m *Ensemble) AdaptBatch(targets []hdc.Vector, workers int) (AdaptStats, er
 	}
 	cfg := m.cfg
 	pool := parallel.NewPool(workers)
-	tgt := newDomainModel(-1, cfg)
-	// Bundle the target distribution and weight each source domain's
-	// contribution to the initial target prototypes by its similarity.
-	for _, hv := range targets {
-		tgt.domAcc.Add(hv, 1)
-	}
-	weights := m.domainWeights(tgt.domAcc.Majority())
-	for i, dm := range m.domains {
-		for c := range tgt.classAcc {
-			tgt.classAcc[c].AddScaled(dm.classAcc[c], weights[i])
+	tgt := m.adapted
+	if !incremental || tgt == nil {
+		tgt = newDomainModel(-1, cfg)
+		// Bundle the target distribution and weight each source domain's
+		// contribution to the initial target prototypes by its similarity.
+		for _, hv := range targets {
+			tgt.domAcc.Add(hv, 1)
 		}
+		weights := m.domainWeights(tgt.domAcc.Majority())
+		for i, dm := range m.domains {
+			for c := range tgt.classAcc {
+				tgt.classAcc[c].AddScaled(dm.classAcc[c], weights[i])
+				tgt.classCount[c] += dm.classCount[c]
+			}
+		}
+		tgt.rebinarize()
+	} else {
+		// Fold the new batch into the target domain prototype so later
+		// domain-similarity decisions see the full target distribution.
+		for _, hv := range targets {
+			tgt.domAcc.Add(hv, 1)
+		}
+		tgt.domProt = tgt.domAcc.Majority()
 	}
-	tgt.rebinarize()
 
 	topFrac := cfg.TopFrac
 	if topFrac == 0 {
@@ -371,7 +432,8 @@ func (m *Ensemble) AdaptBatch(targets []hdc.Vector, workers int) (AdaptStats, er
 				// Similarity-proportional update: the closer the
 				// sample already is to the winning prototype, the
 				// more it reinforces it.
-				tgt.classAcc[c].Add(targets[cand.idx], cfg.AdaptRate*(1+cand.sim)/2)
+				tgt.classAcc[c].Add(targets[cand.idx], cfg.AdaptRate*simWeight(cand.sim))
+				tgt.classCount[c]++
 				stats.PseudoLabels++
 				updated = true
 			}
@@ -430,27 +492,40 @@ func accuracy(hvs []hdc.Vector, labels []int, predict func(hdc.Vector) int) floa
 	return float64(hits) / float64(len(hvs))
 }
 
+// rank maps a score to a total order for argmax/top2: NaN ranks with -Inf,
+// below every real score, so a poisoned entry can never beat one and the
+// selected indices do not depend on where the NaN sits in the slice (ties
+// resolve to the lowest index).
+func rank(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.Inf(-1)
+	}
+	return x
+}
+
 func argmax(xs []float64) int {
 	best := 0
 	for i, x := range xs {
-		if x > xs[best] {
+		if rank(x) > rank(xs[best]) {
 			best = i
 		}
 	}
 	return best
 }
 
-// top2 returns the indices of the largest and second-largest scores.
+// top2 returns the indices of the largest and second-largest scores. Ties
+// (and NaNs, which rank below -Inf) resolve to the lowest index, so the
+// result is independent of evaluation order.
 func top2(xs []float64) (best, second int) {
 	best, second = 0, 1
-	if xs[1] > xs[0] {
+	if rank(xs[1]) > rank(xs[0]) {
 		best, second = 1, 0
 	}
 	for i := 2; i < len(xs); i++ {
 		switch {
-		case xs[i] > xs[best]:
+		case rank(xs[i]) > rank(xs[best]):
 			second, best = best, i
-		case xs[i] > xs[second]:
+		case rank(xs[i]) > rank(xs[second]):
 			second = i
 		}
 	}

@@ -289,6 +289,7 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 }
 
 func TestTop2(t *testing.T) {
+	nan, ninf := math.NaN(), math.Inf(-1)
 	tests := []struct {
 		xs           []float64
 		best, second int
@@ -299,11 +300,162 @@ func TestTop2(t *testing.T) {
 		{[]float64{0.9, 0.5, 0.1}, 0, 1},
 		{[]float64{0.5, 0.9, 0.7, 0.8}, 1, 3},
 		{[]float64{-0.2, -0.1, -0.3}, 1, 0},
+		// NaN hygiene: a NaN score ranks below everything and must not make
+		// the selection order-dependent.
+		{[]float64{nan, 0.5, 0.2}, 1, 2},
+		{[]float64{0.5, nan, 0.2}, 0, 2},
+		{[]float64{0.5, 0.2, nan}, 0, 1},
+		{[]float64{nan, nan, 0.2}, 2, 0},
+		{[]float64{nan, nan}, 0, 1},
+		{[]float64{ninf, 0.3, nan}, 1, 0},
 	}
 	for _, tt := range tests {
 		best, second := top2(tt.xs)
 		if best != tt.best || second != tt.second {
 			t.Errorf("top2(%v) = %d,%d want %d,%d", tt.xs, best, second, tt.best, tt.second)
+		}
+	}
+}
+
+func TestArgmaxNaN(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		xs   []float64
+		want int
+	}{
+		{[]float64{nan, 0.5, 0.9}, 2},
+		{[]float64{0.9, nan, 0.5}, 0},
+		{[]float64{nan, nan}, 0},
+		{[]float64{nan, math.Inf(-1)}, 0}, // NaN ranks with -Inf; tie → lowest index
+		{[]float64{math.Inf(-1), nan, 0.1}, 2},
+	}
+	for _, tt := range tests {
+		if got := argmax(tt.xs); got != tt.want {
+			t.Errorf("argmax(%v) = %d, want %d", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestSimWeightClampsNaN(t *testing.T) {
+	if got := simWeight(math.NaN()); got != 0.5 {
+		t.Errorf("simWeight(NaN) = %v, want 0.5 (similarity clamped to 0)", got)
+	}
+	if got := simWeight(1); got != 1 {
+		t.Errorf("simWeight(1) = %v, want 1", got)
+	}
+	if got := simWeight(-1); got != 0 {
+		t.Errorf("simWeight(-1) = %v, want 0", got)
+	}
+}
+
+// TestTrainMissingClassExcluded pins the fix for classes absent from some
+// source domain: their empty accumulators must abstain instead of competing
+// with tie-break noise, and a class absent from every domain must never be
+// predicted.
+func TestTrainMissingClassExcluded(t *testing.T) {
+	rng := testRNG(31)
+	protos, samples := cluster(rng, 4, 15, testDim/3, 0)
+	// Strip classes 2 and 3 from domain 0; domain 1 sees 0..2 but never 3,
+	// so class 3 is absent from the whole ensemble.
+	var trimmed []Sample
+	for _, s := range samples {
+		if s.Class < 2 {
+			trimmed = append(trimmed, s)
+		}
+	}
+	for c := range 3 {
+		for range 15 {
+			trimmed = append(trimmed, Sample{
+				HV: flip(rng, protos[c], testDim/3), Class: c, Domain: 1,
+			})
+		}
+	}
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(trimmed); err != nil {
+		t.Fatal(err)
+	}
+	// Class 2 lives only in domain 1: domain 0 must abstain on it rather
+	// than out-vote it with noise.
+	for range 20 {
+		q := flip(rng, protos[2], testDim/4)
+		if got := m.Predict(q); got != 2 {
+			t.Fatalf("class-2 query predicted as %d (domain without the class out-voted it)", got)
+		}
+	}
+	// Class 3 was never trained anywhere: its ensemble score must be -Inf
+	// and it must never win, even on its own cluster's queries.
+	for range 20 {
+		q := flip(rng, protos[3], testDim/4)
+		scores := m.ensembleScores(q)
+		if !math.IsInf(scores[3], -1) {
+			t.Fatalf("never-trained class scored %v, want -Inf", scores[3])
+		}
+		if got := m.Predict(q); got == 3 {
+			t.Fatal("never-trained class was predicted")
+		}
+	}
+}
+
+// TestAdaptIncremental checks the streaming adaptation path: the first call
+// matches AdaptBatch exactly, and later calls keep refining the same target
+// model instead of rebuilding it from the source mixture.
+func TestAdaptIncremental(t *testing.T) {
+	build := func() (*Ensemble, []hdc.Vector) {
+		rng := testRNG(41)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, err := New(testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 12 {
+				targets = append(targets, flip(rng, protos[c], testDim/3))
+			}
+		}
+		return m, targets
+	}
+
+	batch, targets := build()
+	if _, err := batch.AdaptBatch(targets, 1); err != nil {
+		t.Fatal(err)
+	}
+	incr, targets2 := build()
+	if _, err := incr.AdaptIncremental(targets2, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, b := batch.AdaptedPrototypes(), incr.AdaptedPrototypes()
+	for c := range a {
+		if !a[c].Equal(b[c]) {
+			t.Fatalf("first AdaptIncremental call diverged from AdaptBatch at class %d", c)
+		}
+	}
+
+	// A second incremental batch must keep the model adapted and usable.
+	rng := testRNG(41)
+	protos, _ := cluster(rng, 4, 0, 0, 0) // same stream ⇒ same prototypes
+	var more []hdc.Vector
+	for c := range 4 {
+		for range 8 {
+			more = append(more, flip(rng, protos[c], testDim/3))
+		}
+	}
+	stats, err := incr.AdaptIncremental(more, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PseudoLabels == 0 {
+		t.Fatal("incremental batch applied no pseudo-labels on separable targets")
+	}
+	for c, p := range protos {
+		if got := incr.Predict(flip(rng, p, testDim/4)); got != c {
+			t.Fatalf("after incremental adaptation class %d predicted as %d", c, got)
 		}
 	}
 }

@@ -1,0 +1,292 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// Wire format (all integers little-endian):
+//
+//	magic "SME1"
+//	config: uint32 Dim, uint32 Classes, uint32 RetrainEpochs,
+//	        uint32 AdaptEpochs, float64 Confidence, float64 AdaptRate,
+//	        float64 TopFrac
+//	uint32 domain count, uint8 adapted flag
+//	per domain (then the adapted target model, if the flag is set):
+//	    int32 id
+//	    Classes × int64 per-class sample count
+//	    Classes × framed class accumulator (uint32 length + hdc bytes)
+//	    framed domain accumulator
+//
+// The binarized prototypes are not stored: Majority is deterministic, so
+// they are rebuilt bit-identically on load. The magic doubles as the format
+// version; bump it on any layout change.
+const (
+	ensembleMagic = "SME1"
+
+	// maxDomains bounds the domain count accepted by ReadFrom so a corrupt
+	// header cannot drive an unbounded allocation loop.
+	maxDomains = 1 << 16
+	// maxClasses bounds cfg.Classes on load for the same reason; Validate
+	// has no upper bound because in-process construction is trusted.
+	maxClasses = 1 << 20
+	// maxEpochs bounds the loaded retrain/adapt epoch counts: a corrupt
+	// bundle declaring billions of adapt epochs would otherwise hang the
+	// first Adapt call (and, in a server, every reader behind its lock).
+	maxEpochs = 1 << 20
+)
+
+// WriteTo serializes the ensemble — configuration, every source domain's
+// class/domain accumulators and per-class counts, and the adapted target
+// model if present — in the versioned format read by ReadFrom. Staged
+// accumulator state is flushed first (mutating internal representation, not
+// accumulated values), so the output is canonical: saving, loading, and
+// saving again yields byte-identical output, and the loaded ensemble
+// predicts and continues adapting exactly like the original.
+func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
+	if len(m.domains) == 0 {
+		return 0, fmt.Errorf("model: cannot serialize an untrained ensemble")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(ensembleMagic)
+	putUint32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	putFloat64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	putUint32(uint32(m.cfg.Dim))
+	putUint32(uint32(m.cfg.Classes))
+	putUint32(uint32(m.cfg.RetrainEpochs))
+	putUint32(uint32(m.cfg.AdaptEpochs))
+	putFloat64(m.cfg.Confidence)
+	putFloat64(m.cfg.AdaptRate)
+	putFloat64(m.cfg.TopFrac)
+
+	putUint32(uint32(len(m.domains)))
+	adapted := byte(0)
+	if m.adapted != nil {
+		adapted = 1
+	}
+	buf.WriteByte(adapted)
+
+	putAcc := func(acc *hdc.Accumulator) error {
+		b, err := acc.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		putUint32(uint32(len(b)))
+		buf.Write(b)
+		return nil
+	}
+	writeDomain := func(dm *domainModel) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(int32(dm.id)))
+		buf.Write(b[:])
+		var cb [8]byte
+		for _, n := range dm.classCount {
+			binary.LittleEndian.PutUint64(cb[:], uint64(n))
+			buf.Write(cb[:])
+		}
+		for _, acc := range dm.classAcc {
+			if err := putAcc(acc); err != nil {
+				return err
+			}
+		}
+		return putAcc(dm.domAcc)
+	}
+	for _, dm := range m.domains {
+		if err := writeDomain(dm); err != nil {
+			return 0, err
+		}
+	}
+	if m.adapted != nil {
+		if err := writeDomain(m.adapted); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadFrom replaces the ensemble's state with one deserialized from r (the
+// format written by WriteTo), validating the configuration, bounding every
+// allocation by the declared and checked sizes, and rebuilding the binarized
+// prototypes. It returns the number of bytes consumed.
+func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countReader{r: r}
+	var magic [4]byte
+	if err := cr.read(magic[:]); err != nil {
+		return cr.n, fmt.Errorf("model: reading header: %w", err)
+	}
+	if string(magic[:]) != ensembleMagic {
+		return cr.n, fmt.Errorf("model: bad ensemble magic %q (unsupported version?)", magic[:])
+	}
+	var cfg Config
+	var u32 [4]byte
+	var u64 [8]byte
+	readUint32 := func(dst *int) error {
+		if err := cr.read(u32[:]); err != nil {
+			return err
+		}
+		*dst = int(binary.LittleEndian.Uint32(u32[:]))
+		return nil
+	}
+	readFloat64 := func(dst *float64) error {
+		if err := cr.read(u64[:]); err != nil {
+			return err
+		}
+		*dst = math.Float64frombits(binary.LittleEndian.Uint64(u64[:]))
+		return nil
+	}
+	for _, f := range []func() error{
+		func() error { return readUint32(&cfg.Dim) },
+		func() error { return readUint32(&cfg.Classes) },
+		func() error { return readUint32(&cfg.RetrainEpochs) },
+		func() error { return readUint32(&cfg.AdaptEpochs) },
+		func() error { return readFloat64(&cfg.Confidence) },
+		func() error { return readFloat64(&cfg.AdaptRate) },
+		func() error { return readFloat64(&cfg.TopFrac) },
+	} {
+		if err := f(); err != nil {
+			return cr.n, fmt.Errorf("model: reading config: %w", err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cr.n, fmt.Errorf("model: loaded config invalid: %w", err)
+	}
+	if cfg.Classes > maxClasses {
+		return cr.n, fmt.Errorf("model: loaded Classes %d exceeds maximum %d", cfg.Classes, maxClasses)
+	}
+	if cfg.RetrainEpochs > maxEpochs || cfg.AdaptEpochs > maxEpochs {
+		return cr.n, fmt.Errorf("model: loaded epoch counts %d/%d exceed maximum %d",
+			cfg.RetrainEpochs, cfg.AdaptEpochs, maxEpochs)
+	}
+
+	var numDomains int
+	if err := readUint32(&numDomains); err != nil {
+		return cr.n, fmt.Errorf("model: reading domain count: %w", err)
+	}
+	if numDomains == 0 {
+		// An ensemble without source domains cannot predict or adapt;
+		// loading one would boot a server that panics on every query.
+		return cr.n, fmt.Errorf("model: serialized ensemble has no source domains")
+	}
+	if numDomains > maxDomains {
+		return cr.n, fmt.Errorf("model: domain count %d exceeds maximum %d", numDomains, maxDomains)
+	}
+	var flag [1]byte
+	if err := cr.read(flag[:]); err != nil {
+		return cr.n, fmt.Errorf("model: reading adapted flag: %w", err)
+	}
+	if flag[0] > 1 {
+		return cr.n, fmt.Errorf("model: adapted flag %d not 0 or 1", flag[0])
+	}
+
+	readAcc := func() (*hdc.Accumulator, error) {
+		if err := cr.read(u32[:]); err != nil {
+			return nil, err
+		}
+		frameLen := int(binary.LittleEndian.Uint32(u32[:]))
+		if want := hdc.MarshaledSize(cfg.Dim); frameLen != want {
+			return nil, fmt.Errorf("accumulator frame length %d, want %d for dim %d", frameLen, want, cfg.Dim)
+		}
+		b := make([]byte, frameLen)
+		if err := cr.read(b); err != nil {
+			return nil, err
+		}
+		acc := &hdc.Accumulator{}
+		if err := acc.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return acc, nil
+	}
+	readDomain := func() (*domainModel, error) {
+		if err := cr.read(u32[:]); err != nil {
+			return nil, err
+		}
+		dm := &domainModel{
+			id:         int(int32(binary.LittleEndian.Uint32(u32[:]))),
+			classAcc:   make([]*hdc.Accumulator, cfg.Classes),
+			classCount: make([]int64, cfg.Classes),
+		}
+		for c := range dm.classCount {
+			if err := cr.read(u64[:]); err != nil {
+				return nil, err
+			}
+			n := int64(binary.LittleEndian.Uint64(u64[:]))
+			if n < 0 {
+				return nil, fmt.Errorf("negative class count %d", n)
+			}
+			dm.classCount[c] = n
+		}
+		for c := range dm.classAcc {
+			acc, err := readAcc()
+			if err != nil {
+				return nil, err
+			}
+			dm.classAcc[c] = acc
+		}
+		acc, err := readAcc()
+		if err != nil {
+			return nil, err
+		}
+		dm.domAcc = acc
+		dm.rebinarize()
+		return dm, nil
+	}
+
+	domains := make([]*domainModel, 0, min(numDomains, 64))
+	for i := range numDomains {
+		dm, err := readDomain()
+		if err != nil {
+			return cr.n, fmt.Errorf("model: reading domain %d: %w", i, err)
+		}
+		domains = append(domains, dm)
+	}
+	var adapted *domainModel
+	if flag[0] == 1 {
+		dm, err := readDomain()
+		if err != nil {
+			return cr.n, fmt.Errorf("model: reading adapted model: %w", err)
+		}
+		adapted = dm
+	}
+
+	m.cfg = cfg
+	m.domains = domains
+	m.adapted = adapted
+	return cr.n, nil
+}
+
+// Decode reads a serialized ensemble (the format written by WriteTo) into a
+// fresh Ensemble.
+func Decode(r io.Reader) (*Ensemble, error) {
+	m := &Ensemble{}
+	if _, err := m.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// countReader tracks how many bytes ReadFrom has consumed, including on
+// partial reads.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) read(p []byte) error {
+	n, err := io.ReadFull(cr.r, p)
+	cr.n += int64(n)
+	return err
+}

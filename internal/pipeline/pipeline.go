@@ -61,8 +61,43 @@ func DefaultDomains(n int) []data.Shift {
 	return domains
 }
 
-// Run executes generate → encode → train → baseline-eval → adapt → eval.
-func Run(cfg Config) (*Result, error) {
+// Artifacts is the train-once state the evaluate/adapt path and the serving
+// surface share: the frozen encoder, the trained ensemble, and the encoded
+// evaluation splits. Build it with Train (train a fresh model) or WithModel
+// (wrap an already-trained, e.g. loaded, model).
+type Artifacts struct {
+	Config     Config
+	Encoder    *encode.Encoder
+	Model      *model.Ensemble
+	SourceTest []model.Sample // held-out source-domain samples
+	Target     []model.Sample // encoded (unlabeled at adapt time) target samples
+}
+
+// Train executes generate → encode → train and returns the reusable
+// artifacts; it is the train-once half of the train-once/serve-many split.
+func Train(cfg Config) (*Artifacts, error) {
+	mdl, err := model.New(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return prepare(cfg, mdl, true)
+}
+
+// WithModel builds artifacts around an already-trained ensemble (typically
+// loaded from a saved bundle), regenerating and encoding the evaluation
+// splits from cfg without retraining.
+func WithModel(cfg Config, mdl *model.Ensemble) (*Artifacts, error) {
+	mcfg := mdl.Config()
+	if mcfg.Dim != cfg.Encoder.Dim {
+		return nil, fmt.Errorf("pipeline: model dimension %d does not match encoder dimension %d", mcfg.Dim, cfg.Encoder.Dim)
+	}
+	if mcfg.Classes != cfg.Data.Classes {
+		return nil, fmt.Errorf("pipeline: model has %d classes, dataset has %d", mcfg.Classes, cfg.Data.Classes)
+	}
+	return prepare(cfg, mdl, false)
+}
+
+func prepare(cfg Config, mdl *model.Ensemble, train bool) (*Artifacts, error) {
 	if len(cfg.Data.Domains) < 2 {
 		return nil, fmt.Errorf("pipeline: need at least one source and one target domain")
 	}
@@ -74,10 +109,6 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	enc, err := encode.New(cfg.Encoder)
-	if err != nil {
-		return nil, err
-	}
-	mdl, err := model.New(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +130,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	targetIdx := len(ds.Domains) - 1
-	var train, sourceTest []model.Sample
+	var trainSet, sourceTest []model.Sample
 	for d := 0; d < targetIdx; d++ {
 		tr, te := data.Split(ds.Domains[d], cfg.TrainFrac)
+		// An empty split would silently score 0.0 (or train on nothing);
+		// fail loudly with the knobs that caused it instead.
+		if len(tr) == 0 || len(te) == 0 {
+			return nil, fmt.Errorf(
+				"pipeline: source domain %q: TrainFrac %v of %d samples leaves %d train / %d test; both splits must be non-empty (raise PerClass or adjust TrainFrac)",
+				cfg.Data.Domains[d].Name, cfg.TrainFrac, len(ds.Domains[d]), len(tr), len(te))
+		}
 		etr, err := encodeSamples(tr)
 		if err != nil {
 			return nil, err
@@ -110,7 +148,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		train = append(train, etr...)
+		trainSet = append(trainSet, etr...)
 		sourceTest = append(sourceTest, ete...)
 	}
 	target, err := encodeSamples(ds.Domains[targetIdx])
@@ -118,23 +156,59 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	if err := mdl.Train(train); err != nil {
-		return nil, err
+	if train {
+		if err := mdl.Train(trainSet); err != nil {
+			return nil, err
+		}
 	}
+	return &Artifacts{
+		Config:     cfg,
+		Encoder:    enc,
+		Model:      mdl,
+		SourceTest: sourceTest,
+		Target:     target,
+	}, nil
+}
 
-	srcHVs, srcClasses := hvsAndClasses(sourceTest)
-	tgtHVs, tgtClasses := hvsAndClasses(target)
+// Evaluate runs baseline-eval → adapt → eval on the artifacts' model. It
+// mutates a.Model (the ensemble ends up adapted to the target split), which
+// is exactly the artifact a caller then saves or serves.
+func (a *Artifacts) Evaluate() (*Result, error) {
+	srcHVs, srcClasses := hvsAndClasses(a.SourceTest)
+	tgtHVs, tgtClasses := hvsAndClasses(a.Target)
+	if len(srcHVs) == 0 {
+		return nil, fmt.Errorf("pipeline: no held-out source samples to evaluate")
+	}
+	if len(tgtHVs) == 0 {
+		return nil, fmt.Errorf("pipeline: no target samples to adapt to")
+	}
+	workers := a.Config.Workers
 	res := &Result{}
-	res.SourceAccuracy = evalBatch(srcHVs, srcClasses, mdl.PredictSourceBatch, cfg.Workers)
-	res.TargetBaseline = evalBatch(tgtHVs, tgtClasses, mdl.PredictSourceBatch, cfg.Workers)
+	res.SourceAccuracy = evalBatch(srcHVs, srcClasses, a.Model.PredictSourceBatch, workers)
+	res.TargetBaseline = evalBatch(tgtHVs, tgtClasses, a.Model.PredictSourceBatch, workers)
 
-	stats, err := mdl.AdaptBatch(tgtHVs, cfg.Workers)
+	stats, err := a.Model.AdaptBatch(tgtHVs, workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Adapt = stats
-	res.TargetAdapted = evalBatch(tgtHVs, tgtClasses, mdl.PredictBatch, cfg.Workers)
+	res.TargetAdapted = evalBatch(tgtHVs, tgtClasses, a.Model.PredictBatch, workers)
 	return res, nil
+}
+
+// Bundle packages the artifacts' encoder configuration and (possibly
+// adapted) model for persistence or serving.
+func (a *Artifacts) Bundle() *Bundle {
+	return &Bundle{Encoder: a.Encoder.Config(), Model: a.Model}
+}
+
+// Run executes generate → encode → train → baseline-eval → adapt → eval.
+func Run(cfg Config) (*Result, error) {
+	art, err := Train(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return art.Evaluate()
 }
 
 func hvsAndClasses(samples []model.Sample) ([]hdc.Vector, []int) {

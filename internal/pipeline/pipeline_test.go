@@ -1,6 +1,10 @@
 package pipeline
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"go-arxiv/smore/internal/data"
@@ -86,6 +90,210 @@ func TestRunConfigErrors(t *testing.T) {
 	cfg.Encoder.Dim = 100
 	if _, err := Run(cfg); err == nil {
 		t.Error("Run accepted an invalid encoder dimension")
+	}
+}
+
+// TestRunEmptySplitError pins the fix for silently reporting 0.0 accuracy:
+// a TrainFrac that leaves a source domain with an empty train or test split
+// must produce a descriptive error, not a zero-sample evaluation.
+func TestRunEmptySplitError(t *testing.T) {
+	cfg := e2eConfig(7)
+	cfg.Data.PerClass = 1
+	cfg.Data.Classes = 2
+	cfg.Model.Classes = 2
+	cfg.TrainFrac = 0.4 // int(2*0.4) = 0 training samples per source domain
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run accepted a config whose source split is empty")
+	}
+	if !strings.Contains(err.Error(), "TrainFrac") {
+		t.Fatalf("error %q does not mention TrainFrac", err)
+	}
+}
+
+// TestTrainEvaluateMatchesRun checks the train-once/serve-many split stays
+// equivalent to the monolithic path.
+func TestTrainEvaluateMatchesRun(t *testing.T) {
+	want, err := Run(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := art.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("Train+Evaluate result %+v differs from Run %+v", got, want)
+	}
+	if !art.Model.Adapted() {
+		t.Fatal("Evaluate left the artifacts' model unadapted")
+	}
+}
+
+// TestBundleRoundTrip is the serve-path persistence contract: a bundle
+// survives save→load with byte-identical predictions on freshly encoded
+// windows, the codec is canonical, and a loaded model keeps evaluating
+// exactly like the original via WithModel.
+func TestBundleRoundTrip(t *testing.T) {
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := art.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := art.Bundle().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b, err := ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Encoder != art.Encoder.Config() {
+		t.Fatalf("loaded encoder config %+v, want %+v", b.Encoder, art.Encoder.Config())
+	}
+	if !b.Model.Adapted() {
+		t.Fatal("loaded model lost its adapted target model")
+	}
+	var buf2 bytes.Buffer
+	if _, err := b.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("bundle load→save is not byte-identical")
+	}
+
+	// Loaded model + regenerated eval splits must predict identically to
+	// the in-memory original on every held-out sample.
+	loadedArt, err := WithModel(e2eConfig(7), b.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range art.Target {
+		if a, g := art.Model.Predict(s.HV), loadedArt.Model.Predict(loadedArt.Target[i].HV); a != g {
+			t.Fatalf("target sample %d: original predicts %d, loaded predicts %d", i, a, g)
+		}
+	}
+	// Re-running Evaluate re-adapts the loaded model from its sources over
+	// the same targets; everything is deterministic, so the numbers match.
+	got, err := loadedArt.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("loaded-model Evaluate %+v differs from original %+v", got, want)
+	}
+}
+
+func TestReadBundleErrors(t *testing.T) {
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := art.Bundle().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	badMagic := bytes.Clone(good)
+	copy(badMagic, "NOPE")
+	for _, tt := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", badMagic},
+		{"truncated header", good[:20]},
+		{"truncated model", good[:len(good)/2]},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadBundle(bytes.NewReader(tt.data)); err == nil {
+				t.Error("ReadBundle accepted corrupt input")
+			}
+		})
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.smore")
+	if err := art.Bundle().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundleFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Saving over an existing bundle must go through a same-directory temp
+	// file + rename, leaving no stragglers.
+	if err := art.Bundle().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("bundle directory holds %d entries after re-save, want 1", len(entries))
+	}
+
+	// A bare relative filename must also save (temp file staged in the
+	// working directory, not the system temp dir on another filesystem).
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd) //nolint:errcheck
+	if err := art.Bundle().SaveFile("bare.smore"); err != nil {
+		t.Fatalf("SaveFile with a bare filename: %v", err)
+	}
+	if _, err := LoadBundleFile("bare.smore"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trailing garbage after the payload must fail the load, not silently
+	// serve the parseable prefix.
+	raw, err := os.ReadFile("bare.smore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("trailing.smore", append(raw, 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundleFile("trailing.smore"); err == nil {
+		t.Error("LoadBundleFile accepted a bundle with trailing bytes")
+	}
+}
+
+func TestWithModelMismatch(t *testing.T) {
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e2eConfig(7)
+	cfg.Encoder.Dim = 2048
+	cfg.Model.Dim = 2048
+	if _, err := WithModel(cfg, art.Model); err == nil {
+		t.Error("WithModel accepted a model whose dimension mismatches the encoder")
+	}
+	cfg = e2eConfig(7)
+	cfg.Data.Classes = 5
+	cfg.Model.Classes = 5
+	if _, err := WithModel(cfg, art.Model); err == nil {
+		t.Error("WithModel accepted a model whose class count mismatches the dataset")
 	}
 }
 

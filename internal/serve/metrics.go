@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's request and per-stage latency counters. All
+// counters are atomics so the hot handlers never contend on a lock, and the
+// /metrics rendering is a consistent-enough snapshot for monitoring.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+	stages    map[string]*stageMetrics
+}
+
+// endpointMetrics counts one HTTP endpoint's requests, errors, and total
+// wall-clock latency.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	nanos    atomic.Int64
+}
+
+// stageMetrics counts one processing stage's operations and cumulative
+// latency, independent of which endpoint invoked it.
+type stageMetrics struct {
+	ops   atomic.Int64
+	nanos atomic.Int64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		endpoints: map[string]*endpointMetrics{},
+		stages:    map[string]*stageMetrics{},
+	}
+	for _, e := range []string{"predict", "adapt", "model", "healthz"} {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	for _, s := range []string{"decode", "encode", "infer", "adapt", "export"} {
+		m.stages[s] = &stageMetrics{}
+	}
+	return m
+}
+
+// observeRequest records one finished request on an endpoint.
+func (m *metrics) observeRequest(endpoint string, start time.Time, failed bool) {
+	em := m.endpoints[endpoint]
+	em.requests.Add(1)
+	em.nanos.Add(int64(time.Since(start)))
+	if failed {
+		em.errors.Add(1)
+	}
+}
+
+// stage times one processing stage: call the returned func when the stage
+// completes.
+func (m *metrics) stage(name string) func() {
+	start := time.Now()
+	sm := m.stages[name]
+	return func() {
+		sm.ops.Add(1)
+		sm.nanos.Add(int64(time.Since(start)))
+	}
+}
+
+// render writes the counters in Prometheus text exposition format, keys
+// sorted so the output is stable.
+func (m *metrics) render(w io.Writer, adapted bool, dim, classes int) {
+	fmt.Fprintf(w, "# HELP smore_requests_total Requests received per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE smore_requests_total counter\n")
+	for _, e := range sortedKeys(m.endpoints) {
+		fmt.Fprintf(w, "smore_requests_total{endpoint=%q} %d\n", e, m.endpoints[e].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP smore_request_errors_total Requests that returned a non-2xx status.\n")
+	fmt.Fprintf(w, "# TYPE smore_request_errors_total counter\n")
+	for _, e := range sortedKeys(m.endpoints) {
+		fmt.Fprintf(w, "smore_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP smore_request_latency_seconds_total Cumulative request wall-clock time per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE smore_request_latency_seconds_total counter\n")
+	for _, e := range sortedKeys(m.endpoints) {
+		fmt.Fprintf(w, "smore_request_latency_seconds_total{endpoint=%q} %.9f\n",
+			e, float64(m.endpoints[e].nanos.Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP smore_stage_ops_total Completed operations per pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE smore_stage_ops_total counter\n")
+	for _, s := range sortedKeys(m.stages) {
+		fmt.Fprintf(w, "smore_stage_ops_total{stage=%q} %d\n", s, m.stages[s].ops.Load())
+	}
+	fmt.Fprintf(w, "# HELP smore_stage_latency_seconds_total Cumulative time spent per pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE smore_stage_latency_seconds_total counter\n")
+	for _, s := range sortedKeys(m.stages) {
+		fmt.Fprintf(w, "smore_stage_latency_seconds_total{stage=%q} %.9f\n",
+			s, float64(m.stages[s].nanos.Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP smore_model_adapted Whether the served ensemble has an adapted target model.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_adapted gauge\n")
+	fmt.Fprintf(w, "smore_model_adapted %d\n", b2i(adapted))
+	fmt.Fprintf(w, "# HELP smore_model_dim Hypervector dimension of the served model.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_dim gauge\n")
+	fmt.Fprintf(w, "smore_model_dim %d\n", dim)
+	fmt.Fprintf(w, "# HELP smore_model_classes Class count of the served model.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_classes gauge\n")
+	fmt.Fprintf(w, "smore_model_classes %d\n", classes)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

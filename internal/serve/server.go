@@ -1,0 +1,290 @@
+// Package serve is the long-running HTTP surface around a trained SMORE
+// bundle: batched encode→predict, incremental adaptation on submitted
+// unlabeled batches, model export, and health/metrics endpoints. Prediction
+// requests share the ensemble under a read lock; adaptation and model
+// export (which flushes accumulator staging state) take the write lock, so
+// the served model is always internally consistent.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/model"
+	"go-arxiv/smore/internal/pipeline"
+)
+
+// Options tunes the server; the zero value picks sane defaults.
+type Options struct {
+	Workers  int   // worker-pool size for encode/predict batches; <= 0 means GOMAXPROCS
+	MaxBatch int   // maximum windows per request; <= 0 means 1024
+	MaxBody  int64 // request body cap in bytes; <= 0 means 32 MiB
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 32 << 20
+	}
+	return o
+}
+
+// Server serves one bundle. The encoder is immutable and shared freely; the
+// ensemble is guarded by mu (RLock for predictions, Lock for adaptation and
+// export).
+type Server struct {
+	opt Options
+	enc *encode.Encoder
+	met *metrics
+
+	mu    sync.RWMutex
+	model *model.Ensemble
+	encfg encode.Config
+}
+
+// New builds a server around a loaded bundle, reconstructing the encoder's
+// item memories deterministically from the bundle's encoder config.
+func New(b *pipeline.Bundle, opt Options) (*Server, error) {
+	enc, err := encode.New(b.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding encoder: %w", err)
+	}
+	if b.Model == nil {
+		return nil, fmt.Errorf("serve: bundle has no model")
+	}
+	return &Server{
+		opt:   opt.withDefaults(),
+		enc:   enc,
+		met:   newMetrics(),
+		model: b.Model,
+		encfg: b.Encoder,
+	}, nil
+}
+
+// Handler returns the HTTP routes:
+//
+//	POST /v1/predict  {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST /v1/adapt    {"windows": [[[...]]]} → {"stats": {...}}
+//	GET  /v1/model    canonical bundle bytes (save/export)
+//	GET  /healthz     liveness + model summary
+//	GET  /metrics     Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type predictRequest struct {
+	// Windows[i][t][s] is sensor s at timestep t of window i.
+	Windows [][][]float64 `json:"windows"`
+	// SourceOnly predicts with the source ensemble even when an adapted
+	// target model exists (the no-adapt baseline).
+	SourceOnly bool `json:"source_only,omitempty"`
+}
+
+type predictResponse struct {
+	Predictions []int `json:"predictions"`
+	Adapted     bool  `json:"adapted"`
+}
+
+type adaptResponse struct {
+	Stats   model.AdaptStats `json:"stats"`
+	Adapted bool             `json:"adapted"`
+}
+
+// httpError carries a status code out of a handler stage.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeWindows parses and bounds a JSON windows request.
+func (s *Server) decodeWindows(w http.ResponseWriter, r *http.Request, req *predictRequest) error {
+	defer s.met.stage("decode")()
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBody)
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+		}
+		return &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()}
+	}
+	if len(req.Windows) == 0 {
+		return &httpError{http.StatusBadRequest, "no windows in request"}
+	}
+	if len(req.Windows) > s.opt.MaxBatch {
+		return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d windows exceeds maximum %d", len(req.Windows), s.opt.MaxBatch)}
+	}
+	return nil
+}
+
+// responseRecorder tracks whether a handler has committed a response, so an
+// error surfaced after the 200 header went out (e.g. the client hung up
+// mid-body) is only counted, never rendered on top of the partial response.
+type responseRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (r *responseRecorder) WriteHeader(code int) {
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+func (s *Server) encodeWindows(ws [][][]float64) ([]hdc.Vector, error) {
+	defer s.met.stage("encode")()
+	hvs, err := s.enc.EncodeBatch(ws, s.opt.Workers)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return hvs, nil
+}
+
+func (s *Server) handlePredict(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	err := func() error {
+		var req predictRequest
+		if err := s.decodeWindows(w, r, &req); err != nil {
+			return err
+		}
+		hvs, err := s.encodeWindows(req.Windows)
+		if err != nil {
+			return err
+		}
+		done := s.met.stage("infer")
+		s.mu.RLock()
+		var preds []int
+		if req.SourceOnly {
+			preds = s.model.PredictSourceBatch(hvs, s.opt.Workers)
+		} else {
+			preds = s.model.PredictBatch(hvs, s.opt.Workers)
+		}
+		adapted := s.model.Adapted()
+		s.mu.RUnlock()
+		done()
+		return writeJSON(w, http.StatusOK, predictResponse{Predictions: preds, Adapted: adapted})
+	}()
+	s.finish(w, "predict", start, err)
+}
+
+func (s *Server) handleAdapt(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	err := func() error {
+		var req predictRequest
+		if err := s.decodeWindows(w, r, &req); err != nil {
+			return err
+		}
+		hvs, err := s.encodeWindows(req.Windows)
+		if err != nil {
+			return err
+		}
+		done := s.met.stage("adapt")
+		s.mu.Lock()
+		stats, aerr := s.model.AdaptIncremental(hvs, s.opt.Workers)
+		adapted := s.model.Adapted()
+		s.mu.Unlock()
+		done()
+		if aerr != nil {
+			return &httpError{http.StatusConflict, aerr.Error()}
+		}
+		return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted})
+	}()
+	s.finish(w, "adapt", start, err)
+}
+
+func (s *Server) handleModel(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	err := func() error {
+		done := s.met.stage("export")
+		var buf bytes.Buffer
+		// Write lock: serializing flushes accumulator staging state.
+		s.mu.Lock()
+		b := pipeline.Bundle{Encoder: s.encfg, Model: s.model}
+		_, werr := b.WriteTo(&buf)
+		s.mu.Unlock()
+		done()
+		if werr != nil {
+			return werr
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+		_, werr = w.Write(buf.Bytes())
+		return werr
+	}()
+	s.finish(w, "model", start, err)
+}
+
+func (s *Server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	s.mu.RLock()
+	adapted := s.model.Adapted()
+	cfg := s.model.Config()
+	s.mu.RUnlock()
+	err := writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"adapted": adapted,
+		"dim":     cfg.Dim,
+		"classes": cfg.Classes,
+	})
+	s.finish(w, "healthz", start, err)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	adapted := s.model.Adapted()
+	cfg := s.model.Config()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, adapted, cfg.Dim, cfg.Classes)
+}
+
+// finish records metrics for a request and renders the error — unless a
+// response was already committed (then the error, typically a failed body
+// write to a gone client, is only counted).
+func (s *Server) finish(w *responseRecorder, endpoint string, start time.Time, err error) {
+	s.met.observeRequest(endpoint, start, err != nil)
+	if err == nil || w.wrote {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(errStatus(err))
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // nothing left to do on a failed error write
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"go-arxiv/smore/internal/data"
+	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/model"
+	"go-arxiv/smore/internal/pipeline"
+)
+
+// testArtifacts trains a small deterministic pipeline and returns the
+// artifacts plus raw target windows for request bodies.
+func testArtifacts(t *testing.T) (*pipeline.Artifacts, [][][]float64) {
+	t.Helper()
+	cfg := pipeline.Config{
+		Encoder: encode.Config{
+			Dim: 512, Sensors: 2, Levels: 8, NGram: 2, Min: -3, Max: 3, Seed: 7,
+		},
+		Model: model.Config{
+			Dim: 512, Classes: 3, RetrainEpochs: 1, AdaptEpochs: 3,
+			Confidence: 0.005, AdaptRate: 2,
+		},
+		Data: data.Config{
+			Sensors: 2, Classes: 3, WindowLen: 16, PerClass: 8, Seed: 7,
+			Domains: pipeline.DefaultDomains(1),
+		},
+		TrainFrac: 0.75,
+		Workers:   2,
+	}
+	art, err := pipeline.Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.Generate(cfg.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art, data.Windows(ds.Domains[len(ds.Domains)-1])
+}
+
+func testServer(t *testing.T) (*Server, *httptest.Server, *pipeline.Artifacts, [][][]float64) {
+	t.Helper()
+	art, windows := testArtifacts(t)
+	srv, err := New(art.Bundle(), Options{Workers: 2, MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, art, windows
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPredictMatchesDirectBatch(t *testing.T) {
+	_, ts, art, windows := testServer(t)
+	batch := windows[:10]
+	resp := postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: batch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	got := decodeBody[predictResponse](t, resp)
+	hvs, err := art.Encoder.EncodeBatch(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := art.Model.PredictBatch(hvs, 1)
+	if len(got.Predictions) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(got.Predictions), len(want))
+	}
+	for i := range want {
+		if got.Predictions[i] != want[i] {
+			t.Fatalf("prediction %d: served %d, direct %d", i, got.Predictions[i], want[i])
+		}
+	}
+	if got.Adapted {
+		t.Fatal("server reports adapted before any /v1/adapt call")
+	}
+}
+
+func TestAdaptThenPredictUsesAdaptedModel(t *testing.T) {
+	_, ts, art, windows := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/adapt", predictRequest{Windows: windows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adapt status %d", resp.StatusCode)
+	}
+	ar := decodeBody[adaptResponse](t, resp)
+	if !ar.Adapted {
+		t.Fatal("adapt response does not report an adapted model")
+	}
+	if ar.Stats.PseudoLabels == 0 {
+		t.Fatal("adaptation applied no pseudo-labels")
+	}
+
+	// The served predictions must now match a direct AdaptIncremental on an
+	// identical copy of the model.
+	ref, refWindows := testArtifacts(t)
+	hvs, err := ref.Encoder.EncodeBatch(refWindows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Model.AdaptIncremental(hvs, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: windows[:8]})
+	got := decodeBody[predictResponse](t, resp)
+	if !got.Adapted {
+		t.Fatal("predict response does not report the adapted model")
+	}
+	queryHVs, err := art.Encoder.EncodeBatch(windows[:8], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Model.PredictBatch(queryHVs, 1)
+	for i := range want {
+		if got.Predictions[i] != want[i] {
+			t.Fatalf("post-adapt prediction %d: served %d, direct %d", i, got.Predictions[i], want[i])
+		}
+	}
+
+	// A second incremental batch must keep working.
+	resp = postJSON(t, ts.URL+"/v1/adapt", predictRequest{Windows: windows[:8]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second adapt status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestModelExportRoundTrips checks the GET /v1/model contract: the exported
+// bytes are a loadable bundle whose predictions are byte-identical to the
+// served model's, and exporting is canonical (two exports are identical).
+func TestModelExportRoundTrips(t *testing.T) {
+	_, ts, art, windows := testServer(t)
+	get := func() []byte {
+		resp, err := http.Get(ts.URL + "/v1/model")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("model status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+			t.Fatalf("model content type %q", ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	first := get()
+	if !bytes.Equal(first, get()) {
+		t.Fatal("two model exports differ: export is not canonical")
+	}
+	b, err := pipeline.ReadBundle(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvs, err := art.Encoder.EncodeBatch(windows[:10], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := art.Model.PredictBatch(hvs, 1)
+	got := b.Model.PredictBatch(hvs, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prediction %d: exported model %d, served model %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, _, windows := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[map[string]any](t, resp)
+	if h["status"] != "ok" {
+		t.Fatalf("healthz status %v", h["status"])
+	}
+	if h["dim"].(float64) != 512 {
+		t.Fatalf("healthz dim %v", h["dim"])
+	}
+
+	// Drive one predict so the counters move, then scrape.
+	postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: windows[:2]}).Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`smore_requests_total{endpoint="predict"} 1`,
+		`smore_request_errors_total{endpoint="predict"} 0`,
+		`smore_stage_ops_total{stage="encode"} 1`,
+		`smore_stage_ops_total{stage="infer"} 1`,
+		"smore_model_adapted 0",
+		"smore_model_dim 512",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "smore_stage_latency_seconds_total") {
+		t.Error("metrics output missing per-stage latency counters")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts, _, windows := testServer(t)
+	tests := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"bad json", "POST", "/v1/predict", "{nope", http.StatusBadRequest},
+		{"empty windows", "POST", "/v1/predict", `{"windows":[]}`, http.StatusBadRequest},
+		{"ragged window", "POST", "/v1/predict", `{"windows":[[[0.1],[0.2]]]}`, http.StatusBadRequest},
+		{"short window", "POST", "/v1/predict", `{"windows":[[[0.1,0.2]]]}`, http.StatusBadRequest},
+		{"bad json adapt", "POST", "/v1/adapt", "{nope", http.StatusBadRequest},
+		{"predict wrong method", "GET", "/v1/predict", "", http.StatusMethodNotAllowed},
+		{"model wrong method", "POST", "/v1/model", "{}", http.StatusMethodNotAllowed},
+		{"unknown route", "GET", "/v1/nope", "", http.StatusNotFound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := http.NewRequest(tt.method, ts.URL+tt.path, strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tt.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tt.status)
+			}
+		})
+	}
+
+	// Oversized batch → 413.
+	big := predictRequest{Windows: make([][][]float64, 65)}
+	for i := range big.Windows {
+		big.Windows[i] = windows[0]
+	}
+	resp := postJSON(t, ts.URL+"/v1/predict", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestConcurrentPredictAndAdapt hammers the server with mixed traffic; run
+// under -race it proves the lock discipline around the shared ensemble.
+func TestConcurrentPredictAndAdapt(t *testing.T) {
+	_, ts, _, windows := testServer(t)
+	done := make(chan error, 8)
+	for w := range 8 {
+		go func(w int) {
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			for i := range 6 {
+				path := "/v1/predict"
+				if w == 0 && i%2 == 1 {
+					path = "/v1/adapt"
+				}
+				lo := rng.IntN(len(windows) - 2)
+				raw, err := json.Marshal(predictRequest{Windows: windows[lo : lo+2]})
+				if err != nil {
+					done <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+				if err != nil {
+					done <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("%s returned %d", path, resp.StatusCode)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for range 8 {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
