@@ -1,15 +1,20 @@
 // Command smore-serve is the long-running HTTP serving surface around a
 // trained SMORE model bundle (written by `smore -save`): batched
-// encode→predict, incremental adaptation on unlabeled batches, model
-// export, and health/metrics endpoints.
+// encode→predict, incremental adaptation on unlabeled batches, a streaming
+// adaptation queue, model export, and health/metrics endpoints.
 //
 //	smore-serve -load model.smore -addr :8080
 //
-//	POST /v1/predict  {"windows": [[[...]]]} → {"predictions": [...]}
-//	POST /v1/adapt    {"windows": [[[...]]]} → {"stats": {...}}
-//	GET  /v1/model    canonical bundle bytes (byte-identical to the file)
-//	GET  /healthz     liveness + model summary
-//	GET  /metrics     per-endpoint and per-stage latency counters
+//	POST /v1/predict       {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST /v1/adapt         {"windows": [[[...]]]} → {"stats": {...}}
+//	POST /v1/stream/adapt  enqueue windows for background adaptation → 202 (429 when full)
+//	GET  /v1/stream/stats  streaming queue depth, folds, cumulative adapt stats
+//	GET  /v1/model         canonical bundle bytes (byte-identical to the file)
+//	GET  /healthz          liveness + model summary
+//	GET  /metrics          per-endpoint and per-stage latency counters
+//
+// On SIGINT/SIGTERM the server stops listening, waits for in-flight
+// requests, then drains the streaming queue into the model before exiting.
 package main
 
 import (
@@ -30,11 +35,16 @@ import (
 
 func main() {
 	var (
-		load     = flag.String("load", "", "model bundle to serve (required; written by smore -save)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker-pool size for encode/predict batches (0 = all cores)")
-		maxBatch = flag.Int("max-batch", 1024, "maximum windows per request")
-		maxBody  = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		load         = flag.String("load", "", "model bundle to serve (required; written by smore -save)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker-pool size for encode/predict batches (0 = all cores)")
+		maxBatch     = flag.Int("max-batch", 1024, "maximum windows per request")
+		maxBody      = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		streamQueue  = flag.Int("stream-queue", 4096, "streaming adaptation queue capacity in windows (full queue → 429)")
+		streamBatch  = flag.Int("stream-batch", 256, "maximum windows folded per background adaptation batch")
+		readTimeout  = flag.Duration("read-timeout", time.Minute, "maximum duration for reading an entire request")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "maximum duration for writing a response")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests, then again for the stream queue")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -49,31 +59,58 @@ func main() {
 	}
 	srv, err := serve.New(b, serve.Options{
 		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
+		StreamQueue: *streamQueue, StreamBatch: *streamBatch,
 	})
 	if err != nil {
 		log.Fatalf("smore-serve: %v", err)
 	}
 	mcfg := b.Model.Config()
-	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v)",
-		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted())
+	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v stream-queue=%d stream-batch=%d)",
+		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), *streamQueue, *streamBatch)
 
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("smore-serve: shutdown: %v", err)
-		}
-	}()
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed outright (bad address, port in use).
 		log.Fatalf("smore-serve: %v", err)
+	case <-ctx.Done():
 	}
-	log.Print("smore-serve: shut down")
+	stop() // a second signal kills immediately instead of waiting on the drain
+	log.Print("smore-serve: shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("smore-serve: http shutdown: %v", err)
+	}
+	cancel()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("smore-serve: %v", err)
+	}
+	st := srv.StreamStats()
+	if !st.Drained() {
+		log.Printf("smore-serve: draining stream queue (%d queued, %d in flight)", st.QueueDepth, st.InFlight)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := srv.Close(drainCtx)
+	cancel()
+	st = srv.StreamStats()
+	log.Printf("smore-serve: shut down (stream: %d windows folded in %d batches, %d dropped)",
+		st.WindowsFolded, st.BatchesFolded, st.Dropped)
+	if drainErr != nil {
+		// 202-accepted windows were discarded; make that visible to
+		// supervisors instead of reporting a clean shutdown.
+		log.Fatalf("smore-serve: stream drain: %v (%d windows lost)", drainErr, st.QueueDepth+st.InFlight)
+	}
 }

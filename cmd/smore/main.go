@@ -37,8 +37,15 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
 		save       = flag.String("save", "", "write the trained+adapted model bundle to this file")
 		load       = flag.String("load", "", "load a model bundle instead of training (its encoder/model config overrides the flags; data flags must stay compatible)")
+		noAdapt    = flag.Bool("no-adapt", false, "skip adaptation: evaluate and save the source-only model (the starting point for streaming adaptation)")
+		streamN    = flag.Int("stream", 0, "replay the target split as an arriving stream with this micro-batch size instead of one-shot adaptation")
+		dumpTarget = flag.String("dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
 	)
 	flag.Parse()
+	if *noAdapt && *streamN > 0 {
+		fmt.Fprintln(os.Stderr, "smore: -no-adapt and -stream are mutually exclusive")
+		os.Exit(2)
+	}
 
 	cfg := pipeline.Config{
 		Encoder: encode.Config{
@@ -78,12 +85,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smore:", err)
 		os.Exit(1)
 	}
-	res, err := art.Evaluate()
+	if *dumpTarget != "" {
+		if err := writeTargetDump(art, *dumpTarget); err != nil {
+			fmt.Fprintln(os.Stderr, "smore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "smore: dumped target split to %s.windows.json / %s.labels.json\n", *dumpTarget, *dumpTarget)
+	}
+
+	var res *pipeline.Result
+	var streamRes *pipeline.StreamResult
+	switch {
+	case *noAdapt:
+		res, err = art.EvaluateBaseline()
+	case *streamN > 0:
+		streamRes, err = art.StreamEvaluate(*streamN)
+	default:
+		res, err = art.Evaluate()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smore:", err)
 		os.Exit(1)
 	}
-	res.Elapsed = time.Since(start).Round(time.Millisecond).String()
+	elapsed := time.Since(start).Round(time.Millisecond).String()
 	if *save != "" {
 		if err := art.Bundle().SaveFile(*save); err != nil {
 			fmt.Fprintln(os.Stderr, "smore:", err)
@@ -95,7 +119,14 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		var out any = streamRes
+		if res != nil {
+			res.Elapsed = elapsed
+			out = res
+		} else {
+			streamRes.Elapsed = elapsed
+		}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "smore:", err)
 			os.Exit(1)
 		}
@@ -104,10 +135,49 @@ func main() {
 	fmt.Printf("SMORE demo — dim=%d levels=%d ngram=%d sensors=%d classes=%d domains=%d+1\n",
 		cfg.Encoder.Dim, cfg.Encoder.Levels, cfg.Encoder.NGram, cfg.Encoder.Sensors,
 		cfg.Model.Classes, len(cfg.Data.Domains)-1)
+	if streamRes != nil {
+		fmt.Printf("  target baseline (no adapt):      %.3f\n", streamRes.TargetBaseline)
+		fmt.Printf("  streamed adaptation trajectory (%d batches of ≤%d):\n", streamRes.Batches, streamRes.BatchSize)
+		for i, acc := range streamRes.Trajectory {
+			fmt.Printf("    after batch %2d: %.3f\n", i+1, acc)
+		}
+		fmt.Printf("  target after streamed adaptation: %.3f (%+.3f)\n",
+			streamRes.TargetAdapted, streamRes.TargetAdapted-streamRes.TargetBaseline)
+		fmt.Printf("  pseudo-labels applied: %d (skipped %d)  elapsed: %s\n",
+			streamRes.Adapt.PseudoLabels, streamRes.Adapt.Skipped, elapsed)
+		return
+	}
 	fmt.Printf("  source-domain test accuracy:   %.3f\n", res.SourceAccuracy)
 	fmt.Printf("  target baseline (no adapt):    %.3f\n", res.TargetBaseline)
+	if *noAdapt {
+		fmt.Printf("  adaptation skipped (-no-adapt)  elapsed: %s\n", elapsed)
+		return
+	}
 	fmt.Printf("  target after SMORE adaptation: %.3f\n", res.TargetAdapted)
 	fmt.Printf("  accuracy delta:                %+.3f\n", res.TargetAdapted-res.TargetBaseline)
 	fmt.Printf("  pseudo-labels applied: %d (skipped %d)  elapsed: %s\n",
-		res.Adapt.PseudoLabels, res.Adapt.Skipped, res.Elapsed)
+		res.Adapt.PseudoLabels, res.Adapt.Skipped, elapsed)
+}
+
+// writeTargetDump writes the artifacts' raw target windows — as a
+// ready-to-POST /v1/predict body — and the aligned labels to
+// prefix.windows.json / prefix.labels.json, for driving the serving
+// surface from scripts.
+func writeTargetDump(art *pipeline.Artifacts, prefix string) error {
+	windows, err := json.Marshal(map[string]any{"windows": art.TargetWindows})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(prefix+".windows.json", windows, 0o644); err != nil {
+		return err
+	}
+	labels := make([]int, len(art.Target))
+	for i, s := range art.Target {
+		labels[i] = s.Class
+	}
+	raw, err := json.Marshal(labels)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(prefix+".labels.json", raw, 0o644)
 }

@@ -9,6 +9,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,15 @@ import (
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/parallel"
 )
+
+// ErrNotTrained marks operations that need a trained ensemble first — a
+// state conflict (HTTP 409 at the serving layer), not a bad request.
+var ErrNotTrained = errors.New("model: not trained")
+
+// ErrInvalidTargets marks adaptation inputs that can never succeed (empty
+// batch, dimension mismatch) — a caller error (HTTP 400 at the serving
+// layer), distinct from state conflicts like ErrNotTrained.
+var ErrInvalidTargets = errors.New("model: invalid targets")
 
 // Config parameterizes a Model.
 type Config struct {
@@ -342,10 +352,16 @@ func (m *Ensemble) AdaptIncremental(targets []hdc.Vector, workers int) (AdaptSta
 
 func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (AdaptStats, error) {
 	if len(m.domains) == 0 {
-		return AdaptStats{}, fmt.Errorf("model: Adapt before Train")
+		return AdaptStats{}, fmt.Errorf("%w: Adapt before Train", ErrNotTrained)
 	}
 	if len(targets) == 0 {
-		return AdaptStats{}, fmt.Errorf("model: no target samples")
+		return AdaptStats{}, fmt.Errorf("%w: no target samples", ErrInvalidTargets)
+	}
+	for i, hv := range targets {
+		if hv.Dim() != m.cfg.Dim {
+			return AdaptStats{}, fmt.Errorf("%w: target %d has dimension %d, model wants %d",
+				ErrInvalidTargets, i, hv.Dim(), m.cfg.Dim)
+		}
 	}
 	cfg := m.cfg
 	pool := parallel.NewPool(workers)

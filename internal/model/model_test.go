@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -122,6 +123,44 @@ func TestTrainErrors(t *testing.T) {
 	}
 	if _, err := m.Adapt([]hdc.Vector{hdc.New(testDim)}); err == nil {
 		t.Error("Adapt before Train did not error")
+	}
+}
+
+// TestAdaptErrorClassification pins the typed-error split the serving layer
+// maps to HTTP statuses: untrained state is ErrNotTrained (409), bad inputs
+// are ErrInvalidTargets (400), and the two are disjoint.
+func TestAdaptErrorClassification(t *testing.T) {
+	m, err := New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Adapt([]hdc.Vector{hdc.New(testDim)})
+	if !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Adapt before Train error = %v, want ErrNotTrained", err)
+	}
+	if errors.Is(err, ErrInvalidTargets) {
+		t.Errorf("Adapt before Train error %v must not classify as ErrInvalidTargets", err)
+	}
+
+	rng := testRNG(3)
+	_, samples := cluster(rng, 4, 8, testDim/4, 0)
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Adapt(nil)
+	if !errors.Is(err, ErrInvalidTargets) {
+		t.Errorf("empty-target Adapt error = %v, want ErrInvalidTargets", err)
+	}
+	_, err = m.AdaptIncremental([]hdc.Vector{hdc.New(testDim * 2)}, 1)
+	if !errors.Is(err, ErrInvalidTargets) {
+		t.Errorf("dimension-mismatch Adapt error = %v, want ErrInvalidTargets", err)
+	}
+	if errors.Is(err, ErrNotTrained) {
+		t.Errorf("dimension-mismatch error %v must not classify as ErrNotTrained", err)
+	}
+	// Valid targets still adapt after the rejected calls.
+	if _, err := m.AdaptIncremental([]hdc.Vector{samples[0].HV}, 1); err != nil {
+		t.Errorf("valid adapt after rejected calls: %v", err)
 	}
 }
 

@@ -71,6 +71,9 @@ type Artifacts struct {
 	Model      *model.Ensemble
 	SourceTest []model.Sample // held-out source-domain samples
 	Target     []model.Sample // encoded (unlabeled at adapt time) target samples
+	// TargetWindows are the raw target windows, aligned one-to-one with
+	// Target; the stream-replay path feeds them back through the encoder.
+	TargetWindows [][][]float64
 }
 
 // Train executes generate → encode → train and returns the reusable
@@ -162,31 +165,52 @@ func prepare(cfg Config, mdl *model.Ensemble, train bool) (*Artifacts, error) {
 		}
 	}
 	return &Artifacts{
-		Config:     cfg,
-		Encoder:    enc,
-		Model:      mdl,
-		SourceTest: sourceTest,
-		Target:     target,
+		Config:        cfg,
+		Encoder:       enc,
+		Model:         mdl,
+		SourceTest:    sourceTest,
+		Target:        target,
+		TargetWindows: data.Windows(ds.Domains[targetIdx]),
 	}, nil
+}
+
+// EvaluateBaseline scores the held-out source split and the target split
+// with the source-only ensemble, without adapting: TargetAdapted stays zero
+// and a.Model is left untouched. A bundle saved afterwards serves the
+// pre-adaptation model — the starting point for streaming adaptation.
+func (a *Artifacts) EvaluateBaseline() (*Result, error) {
+	res, _, _, err := a.baseline()
+	return res, err
+}
+
+// baseline scores the source-only ensemble and hands back the target slices
+// so Evaluate can adapt on them without rebuilding.
+func (a *Artifacts) baseline() (*Result, []hdc.Vector, []int, error) {
+	srcHVs, srcClasses := hvsAndClasses(a.SourceTest)
+	tgtHVs, tgtClasses := hvsAndClasses(a.Target)
+	if len(srcHVs) == 0 {
+		return nil, nil, nil, fmt.Errorf("pipeline: no held-out source samples to evaluate")
+	}
+	if len(tgtHVs) == 0 {
+		return nil, nil, nil, fmt.Errorf("pipeline: no target samples to adapt to")
+	}
+	workers := a.Config.Workers
+	res := &Result{
+		SourceAccuracy: evalBatch(srcHVs, srcClasses, a.Model.PredictSourceBatch, workers),
+		TargetBaseline: evalBatch(tgtHVs, tgtClasses, a.Model.PredictSourceBatch, workers),
+	}
+	return res, tgtHVs, tgtClasses, nil
 }
 
 // Evaluate runs baseline-eval → adapt → eval on the artifacts' model. It
 // mutates a.Model (the ensemble ends up adapted to the target split), which
 // is exactly the artifact a caller then saves or serves.
 func (a *Artifacts) Evaluate() (*Result, error) {
-	srcHVs, srcClasses := hvsAndClasses(a.SourceTest)
-	tgtHVs, tgtClasses := hvsAndClasses(a.Target)
-	if len(srcHVs) == 0 {
-		return nil, fmt.Errorf("pipeline: no held-out source samples to evaluate")
-	}
-	if len(tgtHVs) == 0 {
-		return nil, fmt.Errorf("pipeline: no target samples to adapt to")
+	res, tgtHVs, tgtClasses, err := a.baseline()
+	if err != nil {
+		return nil, err
 	}
 	workers := a.Config.Workers
-	res := &Result{}
-	res.SourceAccuracy = evalBatch(srcHVs, srcClasses, a.Model.PredictSourceBatch, workers)
-	res.TargetBaseline = evalBatch(tgtHVs, tgtClasses, a.Model.PredictSourceBatch, workers)
-
 	stats, err := a.Model.AdaptBatch(tgtHVs, workers)
 	if err != nil {
 		return nil, err

@@ -75,6 +75,98 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestStreamEvaluateMatchesOneShot is the acceptance test for the streaming
+// replay: adapting over an arriving stream of micro-batches must end at the
+// same final target accuracy as the one-shot AdaptBatch path on the e2e
+// config, with the baseline untouched.
+func TestStreamEvaluateMatchesOneShot(t *testing.T) {
+	one, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := one.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := str.StreamEvaluate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("one-shot baseline=%.3f adapted=%.3f | streamed batches=%d trajectory=%.3v",
+		oneShot.TargetBaseline, oneShot.TargetAdapted, streamed.Batches, streamed.Trajectory)
+	if streamed.TargetBaseline != oneShot.TargetBaseline {
+		t.Errorf("stream baseline %.4f != one-shot baseline %.4f (same model, no folds yet)",
+			streamed.TargetBaseline, oneShot.TargetBaseline)
+	}
+	if streamed.TargetAdapted != oneShot.TargetAdapted {
+		t.Errorf("streamed final accuracy %.4f != one-shot adapted accuracy %.4f",
+			streamed.TargetAdapted, oneShot.TargetAdapted)
+	}
+	if streamed.TargetAdapted <= streamed.TargetBaseline {
+		t.Errorf("streamed adaptation did not improve: baseline %.4f, final %.4f",
+			streamed.TargetBaseline, streamed.TargetAdapted)
+	}
+	wantBatches := (len(str.Target) + 7) / 8
+	if streamed.Batches != wantBatches || len(streamed.Trajectory) != wantBatches {
+		t.Errorf("folded %d batches with %d trajectory points, want %d of each",
+			streamed.Batches, len(streamed.Trajectory), wantBatches)
+	}
+	if streamed.Adapt.PseudoLabels == 0 {
+		t.Error("streamed adaptation applied no pseudo-labels")
+	}
+	if !str.Model.Adapted() {
+		t.Error("model not adapted after StreamEvaluate")
+	}
+}
+
+// TestStreamEvaluateDeterministic replays the same stream twice from
+// scratch: with a fixed batch order the full trajectory must be
+// reproducible bit-for-bit, at any worker count.
+func TestStreamEvaluateDeterministic(t *testing.T) {
+	replay := func(workers int) *StreamResult {
+		cfg := e2eConfig(7)
+		cfg.Workers = workers
+		art, err := Train(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := art.StreamEvaluate(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := replay(1), replay(1), replay(4)
+	for name, other := range map[string]*StreamResult{"rerun": b, "workers=4": c} {
+		if a.TargetBaseline != other.TargetBaseline || a.TargetAdapted != other.TargetAdapted ||
+			a.Batches != other.Batches || a.Adapt != other.Adapt {
+			t.Fatalf("%s diverged:\n%+v\n%+v", name, a, other)
+		}
+		if len(a.Trajectory) != len(other.Trajectory) {
+			t.Fatalf("%s trajectory length %d != %d", name, len(other.Trajectory), len(a.Trajectory))
+		}
+		for i := range a.Trajectory {
+			if a.Trajectory[i] != other.Trajectory[i] {
+				t.Fatalf("%s trajectory[%d] = %v, want %v", name, i, other.Trajectory[i], a.Trajectory[i])
+			}
+		}
+	}
+}
+
+func TestStreamEvaluateRejectsBadBatchSize(t *testing.T) {
+	art, err := Train(e2eConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := art.StreamEvaluate(0); err == nil {
+		t.Fatal("StreamEvaluate accepted batch size 0")
+	}
+}
+
 func TestRunConfigErrors(t *testing.T) {
 	cfg := e2eConfig(7)
 	cfg.Data.Domains = cfg.Data.Domains[:1]

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"go-arxiv/smore/internal/stream"
 )
 
 // metrics holds the server's request and per-stage latency counters. All
@@ -36,10 +38,10 @@ func newMetrics() *metrics {
 		endpoints: map[string]*endpointMetrics{},
 		stages:    map[string]*stageMetrics{},
 	}
-	for _, e := range []string{"predict", "adapt", "model", "healthz"} {
+	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "model", "healthz", "metrics"} {
 		m.endpoints[e] = &endpointMetrics{}
 	}
-	for _, s := range []string{"decode", "encode", "infer", "adapt", "export"} {
+	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold"} {
 		m.stages[s] = &stageMetrics{}
 	}
 	return m
@@ -68,7 +70,7 @@ func (m *metrics) stage(name string) func() {
 
 // render writes the counters in Prometheus text exposition format, keys
 // sorted so the output is stable.
-func (m *metrics) render(w io.Writer, adapted bool, dim, classes int) {
+func (m *metrics) render(w io.Writer, adapted bool, dim, classes int, ss stream.Stats) {
 	fmt.Fprintf(w, "# HELP smore_requests_total Requests received per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE smore_requests_total counter\n")
 	for _, e := range sortedKeys(m.endpoints) {
@@ -105,6 +107,37 @@ func (m *metrics) render(w io.Writer, adapted bool, dim, classes int) {
 	fmt.Fprintf(w, "# HELP smore_model_classes Class count of the served model.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_classes gauge\n")
 	fmt.Fprintf(w, "smore_model_classes %d\n", classes)
+	fmt.Fprintf(w, "# HELP smore_stream_queue_depth Windows waiting in the streaming adaptation queue.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_queue_depth gauge\n")
+	fmt.Fprintf(w, "smore_stream_queue_depth %d\n", ss.QueueDepth)
+	fmt.Fprintf(w, "# HELP smore_stream_queue_capacity Configured streaming queue capacity.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_queue_capacity gauge\n")
+	fmt.Fprintf(w, "smore_stream_queue_capacity %d\n", ss.Capacity)
+	fmt.Fprintf(w, "# HELP smore_stream_in_flight Windows taken by the adapter but not yet folded.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_in_flight gauge\n")
+	fmt.Fprintf(w, "smore_stream_in_flight %d\n", ss.InFlight)
+	fmt.Fprintf(w, "# HELP smore_stream_windows_enqueued_total Windows accepted onto the streaming queue.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_windows_enqueued_total counter\n")
+	fmt.Fprintf(w, "smore_stream_windows_enqueued_total %d\n", ss.Enqueued)
+	fmt.Fprintf(w, "# HELP smore_stream_windows_dropped_total Windows rejected with queue-full backpressure.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_windows_dropped_total counter\n")
+	fmt.Fprintf(w, "smore_stream_windows_dropped_total %d\n", ss.Dropped)
+	fmt.Fprintf(w, "# HELP smore_stream_batches_folded_total Micro-batches folded into the model.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_batches_folded_total counter\n")
+	fmt.Fprintf(w, "smore_stream_batches_folded_total %d\n", ss.BatchesFolded)
+	fmt.Fprintf(w, "# HELP smore_stream_windows_folded_total Windows folded into the model.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_windows_folded_total counter\n")
+	fmt.Fprintf(w, "smore_stream_windows_folded_total %d\n", ss.WindowsFolded)
+	fmt.Fprintf(w, "# HELP smore_stream_errors_total Streaming batches dropped by a failed stage.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_errors_total counter\n")
+	fmt.Fprintf(w, "smore_stream_errors_total{stage=\"encode\"} %d\n", ss.EncodeErrors)
+	fmt.Fprintf(w, "smore_stream_errors_total{stage=\"fold\"} %d\n", ss.FoldErrors)
+	fmt.Fprintf(w, "# HELP smore_stream_windows_lost_total Accepted windows discarded by a failed encode or fold.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_windows_lost_total counter\n")
+	fmt.Fprintf(w, "smore_stream_windows_lost_total %d\n", ss.WindowsLost)
+	fmt.Fprintf(w, "# HELP smore_stream_pseudo_labels_total Pseudo-labels applied by streamed folds.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_pseudo_labels_total counter\n")
+	fmt.Fprintf(w, "smore_stream_pseudo_labels_total %d\n", ss.Adapt.PseudoLabels)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

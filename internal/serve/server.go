@@ -1,16 +1,20 @@
 // Package serve is the long-running HTTP surface around a trained SMORE
 // bundle: batched encode→predict, incremental adaptation on submitted
-// unlabeled batches, model export, and health/metrics endpoints. Prediction
-// requests share the ensemble under a read lock; adaptation and model
-// export (which flushes accumulator staging state) take the write lock, so
-// the served model is always internally consistent.
+// unlabeled batches, a streaming adaptation queue, model export, and
+// health/metrics endpoints. Prediction requests share the ensemble under a
+// read lock; adaptation folds and model export (which flushes accumulator
+// staging state) take the write lock, so the served model is always
+// internally consistent. The streaming path encodes on the worker pool with
+// no lock held and only takes the write lock for the short fold step.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -19,6 +23,7 @@ import (
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
+	"go-arxiv/smore/internal/stream"
 )
 
 // Options tunes the server; the zero value picks sane defaults.
@@ -26,6 +31,13 @@ type Options struct {
 	Workers  int   // worker-pool size for encode/predict batches; <= 0 means GOMAXPROCS
 	MaxBatch int   // maximum windows per request; <= 0 means 1024
 	MaxBody  int64 // request body cap in bytes; <= 0 means 32 MiB
+
+	// StreamQueue caps how many windows the streaming adaptation queue may
+	// hold before POST /v1/stream/adapt returns 429; <= 0 means 4096.
+	StreamQueue int
+	// StreamBatch caps how many queued windows the background adapter folds
+	// per AdaptIncremental call; <= 0 means 256.
+	StreamBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -35,16 +47,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxBody <= 0 {
 		o.MaxBody = 32 << 20
 	}
+	if o.StreamQueue <= 0 {
+		o.StreamQueue = 4096
+	}
+	if o.StreamBatch <= 0 {
+		o.StreamBatch = 256
+	}
 	return o
 }
 
 // Server serves one bundle. The encoder is immutable and shared freely; the
-// ensemble is guarded by mu (RLock for predictions, Lock for adaptation and
-// export).
+// ensemble is guarded by mu (RLock for predictions, Lock for adaptation
+// folds and export).
 type Server struct {
-	opt Options
-	enc *encode.Encoder
-	met *metrics
+	opt    Options
+	enc    *encode.Encoder
+	met    *metrics
+	stream *stream.Adapter
 
 	mu    sync.RWMutex
 	model *model.Ensemble
@@ -52,7 +71,8 @@ type Server struct {
 }
 
 // New builds a server around a loaded bundle, reconstructing the encoder's
-// item memories deterministically from the bundle's encoder config.
+// item memories deterministically from the bundle's encoder config, and
+// starts the streaming adaptation worker. Call Close to drain and stop it.
 func New(b *pipeline.Bundle, opt Options) (*Server, error) {
 	enc, err := encode.New(b.Encoder)
 	if err != nil {
@@ -61,26 +81,55 @@ func New(b *pipeline.Bundle, opt Options) (*Server, error) {
 	if b.Model == nil {
 		return nil, fmt.Errorf("serve: bundle has no model")
 	}
-	return &Server{
+	s := &Server{
 		opt:   opt.withDefaults(),
 		enc:   enc,
 		met:   newMetrics(),
 		model: b.Model,
 		encfg: b.Encoder,
-	}, nil
+	}
+	s.stream = stream.New(
+		stream.Config{QueueCap: s.opt.StreamQueue, MaxBatch: s.opt.StreamBatch},
+		func(windows [][][]float64) ([]hdc.Vector, error) {
+			defer s.met.stage("stream_encode")()
+			return s.enc.EncodeBatch(windows, s.opt.Workers)
+		},
+		func(hvs []hdc.Vector) (model.AdaptStats, error) {
+			defer s.met.stage("fold")()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.model.AdaptIncremental(hvs, s.opt.Workers)
+		},
+	)
+	s.stream.Start()
+	return s, nil
 }
+
+// Close stops accepting streamed windows, drains everything already queued
+// into the model, and stops the background adapter. It is the graceful-
+// shutdown half of New; ctx bounds how long the drain may take.
+func (s *Server) Close(ctx context.Context) error {
+	return s.stream.Close(ctx)
+}
+
+// StreamStats snapshots the streaming adaptation queue's counters.
+func (s *Server) StreamStats() stream.Stats { return s.stream.Stats() }
 
 // Handler returns the HTTP routes:
 //
-//	POST /v1/predict  {"windows": [[[...]]]} → {"predictions": [...]}
-//	POST /v1/adapt    {"windows": [[[...]]]} → {"stats": {...}}
-//	GET  /v1/model    canonical bundle bytes (save/export)
-//	GET  /healthz     liveness + model summary
-//	GET  /metrics     Prometheus text exposition
+//	POST /v1/predict       {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST /v1/adapt         {"windows": [[[...]]]} → {"stats": {...}}
+//	POST /v1/stream/adapt  enqueue windows for background adaptation → 202 (429 when full)
+//	GET  /v1/stream/stats  streaming queue depth, folds, cumulative adapt stats
+//	GET  /v1/model         canonical bundle bytes (save/export)
+//	GET  /healthz          liveness + model summary
+//	GET  /metrics          Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	mux.HandleFunc("POST /v1/stream/adapt", s.handleStreamAdapt)
+	mux.HandleFunc("GET /v1/stream/stats", s.handleStreamStats)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -121,16 +170,27 @@ func errStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// decodeWindows parses and bounds a JSON windows request.
+// decodeWindows parses and bounds a JSON windows request. The body must be
+// exactly one JSON value: trailing non-whitespace bytes (a concatenated
+// second object, truncation garbage) fail the request instead of being
+// silently ignored.
 func (s *Server) decodeWindows(w http.ResponseWriter, r *http.Request, req *predictRequest) error {
 	defer s.met.stage("decode")()
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBody)
-	if err := json.NewDecoder(body).Decode(req); err != nil {
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
 		}
 		return &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()}
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+		}
+		return &httpError{http.StatusBadRequest, "trailing data after JSON body"}
 	}
 	if len(req.Windows) == 0 {
 		return &httpError{http.StatusBadRequest, "no windows in request"}
@@ -215,11 +275,100 @@ func (s *Server) handleAdapt(rw http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		done()
 		if aerr != nil {
-			return &httpError{http.StatusConflict, aerr.Error()}
+			return adaptError(aerr)
 		}
 		return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted})
 	}()
 	s.finish(w, "adapt", start, err)
+}
+
+// adaptError maps an adaptation failure to the right HTTP status: inputs
+// that can never succeed (dimension mismatch, empty batch) are the caller's
+// fault (400), an untrained model is a state conflict (409), anything else
+// is a server fault (500).
+func adaptError(err error) *httpError {
+	switch {
+	case errors.Is(err, model.ErrInvalidTargets):
+		return &httpError{http.StatusBadRequest, err.Error()}
+	case errors.Is(err, model.ErrNotTrained):
+		return &httpError{http.StatusConflict, err.Error()}
+	default:
+		return &httpError{http.StatusInternalServerError, err.Error()}
+	}
+}
+
+// streamAdaptResponse acknowledges an accepted streaming batch.
+type streamAdaptResponse struct {
+	Accepted   int `json:"accepted"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// validateWindows rejects windows the encoder would fail on — fewer
+// timesteps than the n-gram length, rows with the wrong sensor count —
+// before they reach the streaming queue. The background worker coalesces
+// windows from many requests into one encode batch, and EncodeBatch fails
+// wholesale, so an unvalidated bad window would silently destroy other
+// clients' already-accepted data.
+func (s *Server) validateWindows(ws [][][]float64) error {
+	for i, win := range ws {
+		if len(win) < s.encfg.NGram {
+			return &httpError{http.StatusBadRequest,
+				fmt.Sprintf("window %d has %d timesteps, need at least %d (the n-gram length)", i, len(win), s.encfg.NGram)}
+		}
+		for t, row := range win {
+			if len(row) != s.encfg.Sensors {
+				return &httpError{http.StatusBadRequest,
+					fmt.Sprintf("window %d timestep %d has %d sensors, want %d", i, t, len(row), s.encfg.Sensors)}
+			}
+		}
+	}
+	return nil
+}
+
+// handleStreamAdapt enqueues the request's windows on the streaming
+// adaptation queue and returns immediately: 202 with the queue depth on
+// success, 413 for a batch that could never fit, 429 when the queue is
+// currently too full to hold the whole batch (backpressure — nothing is
+// partially enqueued), 503 once shutdown has begun.
+func (s *Server) handleStreamAdapt(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	err := func() error {
+		var req predictRequest
+		if err := s.decodeWindows(w, r, &req); err != nil {
+			return err
+		}
+		if err := s.validateWindows(req.Windows); err != nil {
+			return err
+		}
+		// A batch larger than the whole queue can never succeed, so a 429
+		// ("retry later") would send a well-behaved client into an infinite
+		// retry loop; reject it terminally instead.
+		if len(req.Windows) > s.opt.StreamQueue {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch of %d windows exceeds stream queue capacity %d", len(req.Windows), s.opt.StreamQueue)}
+		}
+		depth, err := s.stream.Enqueue(req.Windows)
+		switch {
+		case errors.Is(err, stream.ErrQueueFull):
+			return &httpError{http.StatusTooManyRequests,
+				fmt.Sprintf("stream queue full (%d of %d windows queued); retry later", depth, s.opt.StreamQueue)}
+		case errors.Is(err, stream.ErrClosed):
+			return &httpError{http.StatusServiceUnavailable, "server is draining; stream ingest closed"}
+		case err != nil:
+			return &httpError{http.StatusBadRequest, err.Error()}
+		}
+		return writeJSON(w, http.StatusAccepted, streamAdaptResponse{Accepted: len(req.Windows), QueueDepth: depth})
+	}()
+	s.finish(w, "stream_adapt", start, err)
+}
+
+// handleStreamStats reports the streaming queue's counters.
+func (s *Server) handleStreamStats(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
+	err := writeJSON(w, http.StatusOK, s.stream.Stats())
+	s.finish(w, "stream_stats", start, err)
 }
 
 func (s *Server) handleModel(rw http.ResponseWriter, r *http.Request) {
@@ -261,13 +410,20 @@ func (s *Server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 	s.finish(w, "healthz", start, err)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetrics renders the Prometheus exposition. It goes through the same
+// responseRecorder/finish accounting as every other endpoint, so scrapes
+// show up in the per-endpoint request counters (the scrape in progress is
+// counted by the *next* one: finish runs after render).
+func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &responseRecorder{ResponseWriter: rw}
 	s.mu.RLock()
 	adapted := s.model.Adapted()
 	cfg := s.model.Config()
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, adapted, cfg.Dim, cfg.Classes)
+	s.met.render(w, adapted, cfg.Dim, cfg.Classes, s.stream.Stats())
+	s.finish(w, "metrics", start, nil)
 }
 
 // finish records metrics for a request and renders the error — unless a

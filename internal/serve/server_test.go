@@ -2,19 +2,24 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"go-arxiv/smore/internal/data"
 	"go-arxiv/smore/internal/encode"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
+	"go-arxiv/smore/internal/stream"
 )
 
 // testArtifacts trains a small deterministic pipeline and returns the
@@ -48,15 +53,47 @@ func testArtifacts(t *testing.T) (*pipeline.Artifacts, [][][]float64) {
 }
 
 func testServer(t *testing.T) (*Server, *httptest.Server, *pipeline.Artifacts, [][][]float64) {
+	return testServerOpts(t, Options{Workers: 2, MaxBatch: 64})
+}
+
+func testServerOpts(t *testing.T, opt Options) (*Server, *httptest.Server, *pipeline.Artifacts, [][][]float64) {
 	t.Helper()
 	art, windows := testArtifacts(t)
-	srv, err := New(art.Bundle(), Options{Workers: 2, MaxBatch: 64})
+	srv, err := New(art.Bundle(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
 	return srv, ts, art, windows
+}
+
+// waitStreamDrained polls the stats endpoint until the queue is empty, no
+// fold is in flight, and the given number of windows has been folded.
+func waitStreamDrained(t *testing.T, url string, wantFolded int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/stream/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[stream.Stats](t, resp)
+		if st.Drained() && st.WindowsFolded == wantFolded {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never drained: %+v (want %d windows folded)", st, wantFolded)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func postJSON(t *testing.T, url string, body any) *http.Response {
@@ -328,5 +365,351 @@ func TestConcurrentPredictAndAdapt(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStreamAdaptFoldsInBackground checks the streaming happy path: enqueue
+// returns 202 immediately, the background adapter folds the windows, and the
+// resulting model matches a direct AdaptIncremental of the same batch.
+func TestStreamAdaptFoldsInBackground(t *testing.T) {
+	// StreamBatch ≥ the posted batch and a single Enqueue ⇒ exactly one
+	// fold of exactly these windows, so the model is reproducible.
+	_, ts, art, windows := testServerOpts(t, Options{Workers: 2, MaxBatch: 64, StreamBatch: 64})
+	batch := windows[:12]
+	resp := postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: batch})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("stream adapt status %d, want 202", resp.StatusCode)
+	}
+	ack := decodeBody[streamAdaptResponse](t, resp)
+	if ack.Accepted != 12 {
+		t.Fatalf("accepted %d windows, want 12", ack.Accepted)
+	}
+	waitStreamDrained(t, ts.URL, 12)
+
+	resp, err := http.Get(ts.URL + "/v1/stream/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[stream.Stats](t, resp)
+	if st.BatchesFolded != 1 || st.Enqueued != 12 || st.Dropped != 0 {
+		t.Fatalf("stats %+v: want exactly one 12-window fold, no drops", st)
+	}
+	if st.Adapt.PseudoLabels == 0 {
+		t.Fatal("streamed fold applied no pseudo-labels")
+	}
+
+	// Served predictions must now match a reference model folded once with
+	// the identical batch.
+	ref, refWindows := testArtifacts(t)
+	refHVs, err := ref.Encoder.EncodeBatch(refWindows[:12], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Model.AdaptIncremental(refHVs, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: windows[:8]})
+	got := decodeBody[predictResponse](t, resp)
+	if !got.Adapted {
+		t.Fatal("predict does not report the streamed-in adapted model")
+	}
+	queryHVs, err := art.Encoder.EncodeBatch(windows[:8], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Model.PredictBatch(queryHVs, 1)
+	for i := range want {
+		if got.Predictions[i] != want[i] {
+			t.Fatalf("post-stream prediction %d: served %d, direct %d", i, got.Predictions[i], want[i])
+		}
+	}
+}
+
+// TestStreamAdaptBackpressure is the acceptance test for queue-full
+// behavior: a batch the queue could never hold is rejected terminally
+// (413), a batch that only *currently* does not fit returns 429 immediately
+// (nothing is silently dropped or blocked), and the queue keeps accepting
+// once drained.
+func TestStreamAdaptBackpressure(t *testing.T) {
+	srv, ts, _, windows := testServerOpts(t, Options{Workers: 2, MaxBatch: 64, StreamQueue: 2, StreamBatch: 1})
+
+	// Larger than the whole queue ⇒ can never fit ⇒ terminal 413, not a
+	// retry-later signal, and not a counted queue drop.
+	resp := postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[:3]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("never-fitting stream adapt status %d, want 413", resp.StatusCode)
+	}
+	if st := srv.StreamStats(); st.Dropped != 0 || st.Enqueued != 0 {
+		t.Fatalf("stats %+v: a 413 must not touch the queue counters", st)
+	}
+
+	// Genuine transient fullness: hold the model write lock so the worker
+	// blocks in its fold, let it take one window in-flight, fill the queue
+	// to capacity, and then a batch that would fit an empty queue gets 429.
+	srv.mu.Lock()
+	unlock := sync.OnceFunc(srv.mu.Unlock)
+	defer unlock()
+	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[:1]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first stream adapt status %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.StreamStats().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never picked up the gated window: %+v", srv.StreamStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[1:3]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-filling stream adapt status %d, want 202", resp.StatusCode)
+	}
+	start := time.Now()
+	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[3:4]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue stream adapt status %d, want 429", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("429 took %v: a full queue must reject immediately, not block", elapsed)
+	}
+	if st := srv.StreamStats(); st.Dropped != 1 {
+		t.Fatalf("stats %+v: the rejected window must count as 1 drop", st)
+	}
+
+	// Release the fold; everything accepted must drain and fold.
+	unlock()
+	waitStreamDrained(t, ts.URL, 3)
+}
+
+// TestStreamAdaptRejectsMalformedWindows checks that windows the encoder
+// would choke on are 400-rejected before enqueueing: the background worker
+// coalesces many requests into one encode batch, so a bad window that got a
+// 202 would silently destroy other clients' accepted windows.
+func TestStreamAdaptRejectsMalformedWindows(t *testing.T) {
+	srv, ts, _, windows := testServer(t)
+	bad := [][][]float64{
+		{{0.1, 0.2}},                // 1 timestep < ngram 2
+		{{0.1}, {0.2}},              // wrong sensor count
+		{{0.1, 0.2}, {0.3}},         // ragged
+		{{0.1, 0.2}, {0.3, 0.4, 5}}, // too many sensors
+	}
+	for i, win := range bad {
+		resp := postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: [][][]float64{windows[0], win}})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("malformed window %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if st := srv.StreamStats(); st.Enqueued != 0 {
+		t.Fatalf("stats %+v: rejected batches must not be partially enqueued", st)
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage pins the fix for bodies with bytes after
+// the JSON object: they must 400 instead of silently succeeding.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	_, ts, _, windows := testServer(t)
+	raw, err := json.Marshal(predictRequest{Windows: windows[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/predict", "/v1/adapt", "/v1/stream/adapt"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(append(raw[:len(raw):len(raw)], "junk"...)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with trailing garbage: status %d, want 400", path, resp.StatusCode)
+		}
+		resp, err = http.Post(ts.URL+path, "application/json", bytes.NewReader(append(raw[:len(raw):len(raw)], " \n\t"...)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			t.Errorf("%s with trailing whitespace: status %d, want success", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestAdaptErrorMapping pins the validation/conflict split on adaptation
+// failures.
+func TestAdaptErrorMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{fmt.Errorf("%w: target 0 has dimension 64, model wants 512", model.ErrInvalidTargets), http.StatusBadRequest},
+		{fmt.Errorf("%w: no target samples", model.ErrInvalidTargets), http.StatusBadRequest},
+		{fmt.Errorf("%w: Adapt before Train", model.ErrNotTrained), http.StatusConflict},
+		{errors.New("disk caught fire"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := adaptError(c.err); got.status != c.status {
+			t.Errorf("adaptError(%v) status %d, want %d", c.err, got.status, c.status)
+		}
+	}
+}
+
+// TestMetricsAndHealthzAreCounted checks that scraping and health probes go
+// through the same per-endpoint accounting as the data-plane endpoints.
+func TestMetricsAndHealthzAreCounted(t *testing.T) {
+	_, ts, _, _ := testServer(t)
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`smore_requests_total{endpoint="healthz"} 1`,
+		`smore_requests_total{endpoint="metrics"} 1`, // the first scrape; this one commits after render
+		"smore_stream_queue_depth 0",
+		"smore_stream_queue_capacity 4096",
+		"smore_stream_windows_enqueued_total 0",
+		`smore_stream_errors_total{stage="encode"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentStreamPredictExport hammers the server with mixed streaming,
+// prediction, and export traffic. Run under -race it proves the lock
+// discipline: every exported bundle must be fully decodable (never a
+// half-folded model) and every prediction batch well-formed.
+func TestConcurrentStreamPredictExport(t *testing.T) {
+	srv, ts, _, windows := testServerOpts(t, Options{Workers: 2, MaxBatch: 64, StreamQueue: 256, StreamBatch: 8})
+	classes := srv.model.Config().Classes
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for w := range 4 { // streaming producers
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 1))
+			for range 10 {
+				lo := rng.IntN(len(windows) - 4)
+				raw, _ := json.Marshal(predictRequest{Windows: windows[lo : lo+4]})
+				resp, err := http.Post(ts.URL+"/v1/stream/adapt", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					report(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusTooManyRequests {
+					report(fmt.Errorf("stream adapt returned %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+	for w := range 4 { // prediction readers
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 2))
+			for range 10 {
+				lo := rng.IntN(len(windows) - 3)
+				raw, _ := json.Marshal(predictRequest{Windows: windows[lo : lo+3]})
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					report(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					report(fmt.Errorf("predict returned %d", resp.StatusCode))
+					return
+				}
+				var pr predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil {
+					report(fmt.Errorf("predict body: %w", err))
+					return
+				}
+				if len(pr.Predictions) != 3 {
+					report(fmt.Errorf("predict returned %d predictions, want 3", len(pr.Predictions)))
+					return
+				}
+				for _, p := range pr.Predictions {
+					if p < 0 || p >= classes {
+						report(fmt.Errorf("prediction %d outside [0,%d)", p, classes))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for range 2 { // model exporters
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 8 {
+				resp, err := http.Get(ts.URL + "/v1/model")
+				if err != nil {
+					report(err)
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					report(fmt.Errorf("model body: %w", err))
+					return
+				}
+				if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err != nil {
+					report(fmt.Errorf("exported bundle is not decodable mid-stream: %w", err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Everything accepted must eventually fold, and the folded model must
+	// still export cleanly after the dust settles.
+	st := srv.StreamStats()
+	waitStreamDrained(t, ts.URL, st.Enqueued)
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("post-drain export not decodable: %v", err)
 	}
 }

@@ -1,0 +1,266 @@
+// Package stream is the bounded ingestion queue and background
+// micro-batching adapter behind the streaming adaptation path. Producers
+// enqueue raw windows; a single worker goroutine coalesces them into batches
+// of up to MaxBatch, encodes each batch on the shared worker pool *outside*
+// any model lock, and folds the hypervectors into the model through a
+// caller-supplied fold function (typically Ensemble.AdaptIncremental under
+// the serving write lock). Prediction traffic therefore only ever contends
+// with the short fold step, never with encoding.
+//
+// Enqueue is all-or-nothing and never blocks: when the queue cannot hold the
+// whole batch it returns ErrQueueFull, which the serving layer surfaces as
+// HTTP 429 backpressure. Batches fold strictly in enqueue order, and both
+// encode and fold are deterministic, so a fixed arrival order always yields
+// the same adapted model.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/model"
+)
+
+// ErrQueueFull is returned by Enqueue when the queue cannot accept the whole
+// batch; nothing is enqueued. Callers should retry later (backpressure).
+var ErrQueueFull = errors.New("stream: queue full")
+
+// ErrClosed is returned by Enqueue after Close has begun shutting the
+// adapter down.
+var ErrClosed = errors.New("stream: adapter closed")
+
+// EncodeFunc encodes raw windows into hypervectors. It runs on the worker
+// goroutine with no lock held, so it may use the full worker pool.
+type EncodeFunc func(windows [][][]float64) ([]hdc.Vector, error)
+
+// FoldFunc folds one encoded batch into the model. It runs on the worker
+// goroutine; the callee is responsible for whatever locking the model needs
+// (the serving layer takes its write lock here).
+type FoldFunc func(hvs []hdc.Vector) (model.AdaptStats, error)
+
+// Config tunes an Adapter; the zero value picks sane defaults.
+type Config struct {
+	QueueCap int // maximum windows held in the queue; <= 0 means 4096
+	MaxBatch int // maximum windows folded per AdaptIncremental call; <= 0 means 256
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Stats is a consistent snapshot of the adapter's counters.
+type Stats struct {
+	QueueDepth int  `json:"queue_depth"` // windows waiting in the queue
+	InFlight   int  `json:"in_flight"`   // windows taken by the worker, not yet folded
+	Capacity   int  `json:"capacity"`    // configured queue capacity
+	MaxBatch   int  `json:"max_batch"`   // configured fold batch cap
+	Closed     bool `json:"closed"`      // Close has begun; Enqueue rejects
+
+	Enqueued      int64 `json:"enqueued_total"`       // windows accepted by Enqueue
+	Dropped       int64 `json:"dropped_total"`        // windows rejected with ErrQueueFull
+	BatchesFolded int64 `json:"batches_folded_total"` // successful fold calls
+	WindowsFolded int64 `json:"windows_folded_total"` // windows in successful folds
+	EncodeErrors  int64 `json:"encode_errors_total"`  // batches dropped by a failed encode
+	FoldErrors    int64 `json:"fold_errors_total"`    // batches dropped by a failed fold
+	// WindowsLost counts accepted windows discarded by a failed encode or
+	// fold, so the books always balance:
+	// Enqueued == WindowsFolded + WindowsLost + QueueDepth + InFlight.
+	WindowsLost int64 `json:"windows_lost_total"`
+
+	// Adapt accumulates the AdaptStats of every successful fold.
+	Adapt model.AdaptStats `json:"adapt_stats"`
+	// LastError is the most recent encode/fold error, for /v1/stream/stats.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Drained reports whether nothing is queued or being folded.
+func (s Stats) Drained() bool { return s.QueueDepth == 0 && s.InFlight == 0 }
+
+// Adapter is the bounded queue plus its background worker. Construct with
+// New, then call Start to launch the worker (Start is separate so replay
+// harnesses can enqueue a full stream first and get deterministic batch
+// boundaries). All methods are safe for concurrent use.
+type Adapter struct {
+	cfg    Config
+	encode EncodeFunc
+	fold   FoldFunc
+
+	mu       sync.Mutex
+	wake     *sync.Cond // signaled when work arrives or shutdown begins
+	queue    [][][]float64
+	inFlight int
+	closed   bool
+	started  bool
+	stats    Stats
+
+	done chan struct{} // closed when the worker exits
+}
+
+// New builds an adapter; the worker does not run until Start.
+func New(cfg Config, encode EncodeFunc, fold FoldFunc) *Adapter {
+	a := &Adapter{
+		cfg:    cfg.withDefaults(),
+		encode: encode,
+		fold:   fold,
+		done:   make(chan struct{}),
+	}
+	a.wake = sync.NewCond(&a.mu)
+	return a
+}
+
+// Start launches the background worker. Calling Start more than once is a
+// no-op.
+func (a *Adapter) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started {
+		return
+	}
+	a.started = true
+	go a.run()
+}
+
+// Enqueue appends windows to the queue, all-or-nothing: if the queue's free
+// space cannot hold every window, nothing is enqueued and ErrQueueFull is
+// returned (the drop is counted). It never blocks. The returned depth is the
+// queue depth immediately after the call.
+func (a *Adapter) Enqueue(windows [][][]float64) (depth int, err error) {
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("stream: empty batch")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return len(a.queue), ErrClosed
+	}
+	if len(a.queue)+len(windows) > a.cfg.QueueCap {
+		a.stats.Dropped += int64(len(windows))
+		return len(a.queue), ErrQueueFull
+	}
+	a.queue = append(a.queue, windows...)
+	a.stats.Enqueued += int64(len(windows))
+	a.wake.Signal()
+	return len(a.queue), nil
+}
+
+// Stats returns a consistent snapshot of the adapter's counters.
+func (a *Adapter) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapshotLocked()
+}
+
+func (a *Adapter) snapshotLocked() Stats {
+	s := a.stats
+	s.QueueDepth = len(a.queue)
+	s.InFlight = a.inFlight
+	s.Capacity = a.cfg.QueueCap
+	s.MaxBatch = a.cfg.MaxBatch
+	s.Closed = a.closed
+	return s
+}
+
+// Drain blocks until the queue is empty and no fold is in flight, or ctx
+// expires. It does not stop the worker or reject new traffic; use Close for
+// shutdown.
+func (a *Adapter) Drain(ctx context.Context) error {
+	for {
+		a.mu.Lock()
+		drained := len(a.queue) == 0 && a.inFlight == 0
+		a.mu.Unlock()
+		if drained {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("stream: drain: %w", ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops accepting new windows, lets the worker drain everything
+// already enqueued, and waits for it to exit (or ctx to expire). If Start
+// was never called, Close runs the worker once inline so a pre-loaded queue
+// still drains. Close is idempotent.
+func (a *Adapter) Close(ctx context.Context) error {
+	a.mu.Lock()
+	a.closed = true
+	if !a.started {
+		a.started = true
+		go a.run()
+	}
+	a.wake.Signal()
+	a.mu.Unlock()
+	select {
+	case <-a.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("stream: close: %w", ctx.Err())
+	}
+}
+
+// run is the worker loop: take up to MaxBatch windows, encode them with no
+// lock held, fold them, repeat; exit once closed and empty.
+func (a *Adapter) run() {
+	defer close(a.done)
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.closed {
+			a.wake.Wait()
+		}
+		if len(a.queue) == 0 {
+			a.mu.Unlock()
+			return // closed and drained
+		}
+		n := min(len(a.queue), a.cfg.MaxBatch)
+		batch := make([][][]float64, n)
+		copy(batch, a.queue[:n])
+		// Shift rather than re-slice so the backing array's consumed prefix
+		// does not pin window data for the queue's lifetime.
+		rest := copy(a.queue, a.queue[n:])
+		for i := rest; i < len(a.queue); i++ {
+			a.queue[i] = nil
+		}
+		a.queue = a.queue[:rest]
+		a.inFlight = n
+		a.mu.Unlock()
+
+		var stats model.AdaptStats
+		hvs, encErr := a.encode(batch)
+		var foldErr error
+		if encErr == nil {
+			stats, foldErr = a.fold(hvs)
+		}
+
+		a.mu.Lock()
+		switch {
+		case encErr != nil:
+			a.stats.EncodeErrors++
+			a.stats.WindowsLost += int64(n)
+			a.stats.LastError = encErr.Error()
+		case foldErr != nil:
+			a.stats.FoldErrors++
+			a.stats.WindowsLost += int64(n)
+			a.stats.LastError = foldErr.Error()
+		default:
+			a.stats.BatchesFolded++
+			a.stats.WindowsFolded += int64(n)
+			a.stats.Adapt.Epochs += stats.Epochs
+			a.stats.Adapt.PseudoLabels += stats.PseudoLabels
+			a.stats.Adapt.Skipped += stats.Skipped
+		}
+		a.inFlight = 0
+		a.mu.Unlock()
+	}
+}

@@ -2,18 +2,34 @@
 # End-to-end check of the train-once/serve-many path with the real binaries:
 # train+adapt+save a small model with `smore`, boot `smore-serve` on it, and
 # verify /healthz, a /v1/predict round trip, a byte-identical /v1/model
-# export, incremental /v1/adapt, and /metrics. Used by `make e2e` and CI.
+# export, incremental /v1/adapt, and /metrics. Then exercise the streaming
+# path: serve a source-only model, push the target split through
+# /v1/stream/adapt, poll /v1/stream/stats until drained, and verify the
+# adapted accuracy beats the source-only baseline, plus queue-full 429
+# backpressure and SIGTERM graceful shutdown. Used by `make e2e` and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${SMORE_E2E_ADDR:-127.0.0.1:8791}"
+STREAM_ADDR="${SMORE_E2E_STREAM_ADDR:-127.0.0.1:8792}"
 tmp="$(mktemp -d)"
-pid=""
+pids=()
 cleanup() {
-  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
   rm -rf "$tmp"
 }
 trap cleanup EXIT
+
+fail() { echo "e2e: $1" >&2; exit 1; }
+
+wait_healthz() { # $1 addr, $2 pid
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$2" 2>/dev/null || fail "smore-serve on $1 died during startup"
+    sleep 0.2
+  done
+  fail "smore-serve on $1 never became healthy"
+}
 
 go build -o "$tmp/smore" ./cmd/smore
 go build -o "$tmp/smore-serve" ./cmd/smore-serve
@@ -22,31 +38,31 @@ go build -o "$tmp/smore-serve" ./cmd/smore-serve
   -per-class 8 -seed 7 -save "$tmp/model.smore" >/dev/null
 
 "$tmp/smore-serve" -load "$tmp/model.smore" -addr "$ADDR" &
-pid=$!
+pids+=($!)
+wait_healthz "$ADDR" "${pids[-1]}"
 
-for _ in $(seq 1 50); do
-  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
-  kill -0 "$pid" 2>/dev/null || { echo "e2e: smore-serve died during startup" >&2; exit 1; }
-  sleep 0.2
-done
-
-fail() { echo "e2e: $1" >&2; exit 1; }
-
-curl -fsS "http://$ADDR/healthz" | grep -q '"ok"' || fail "healthz did not report ok"
+curl -fsS "http://$ADDR/healthz" | grep >/dev/null '"ok"' || fail "healthz did not report ok"
 
 body='{"windows":[[[0.1,-0.2],[0.3,0.4],[0.0,1.1],[0.5,-0.5]]]}'
 curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
-  "http://$ADDR/v1/predict" | grep -q '"predictions"' || fail "predict round trip failed"
+  "http://$ADDR/v1/predict" | grep >/dev/null '"predictions"' || fail "predict round trip failed"
 
 # The served model must export byte-identically to the saved artifact.
 curl -fsS "http://$ADDR/v1/model" -o "$tmp/served.smore"
 cmp "$tmp/model.smore" "$tmp/served.smore" || fail "/v1/model export is not byte-identical to the saved bundle"
 
 curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
-  "http://$ADDR/v1/adapt" | grep -q '"stats"' || fail "adapt round trip failed"
+  "http://$ADDR/v1/adapt" | grep >/dev/null '"stats"' || fail "adapt round trip failed"
 
-curl -fsS "http://$ADDR/metrics" | grep -q 'smore_requests_total{endpoint="predict"} 1' \
+curl -fsS "http://$ADDR/metrics" | grep >/dev/null 'smore_requests_total{endpoint="predict"} 1' \
   || fail "metrics did not count the predict request"
+curl -fsS "http://$ADDR/metrics" | grep >/dev/null 'smore_requests_total{endpoint="metrics"} 1' \
+  || fail "metrics did not count its own scrapes"
+
+# A body with trailing garbage after the JSON object must be rejected.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "${body}garbage" "http://$ADDR/v1/predict")
+[ "$code" = "400" ] || fail "trailing-garbage body returned $code, want 400"
 
 # The loaded bundle must also re-evaluate identically through the CLI.
 "$tmp/smore" -dim 512 -sensors 2 -classes 3 -window 16 -per-class 8 -seed 7 \
@@ -57,5 +73,90 @@ curl -fsS "http://$ADDR/metrics" | grep -q 'smore_requests_total{endpoint="predi
 if ! diff <(grep -v '"elapsed"' "$tmp/fresh.json") <(grep -v '"elapsed"' "$tmp/loaded.json"); then
   fail "loaded-model evaluation differs from the fresh run"
 fi
+
+# --- streaming adaptation ---------------------------------------------------
+# Train a source-only model on a config whose target shift leaves clear room
+# to improve, dump the raw target split, and serve the unadapted bundle.
+"$tmp/smore" -dim 1024 -levels 16 -ngram 3 -sensors 3 -classes 4 -window 48 \
+  -per-class 24 -retrain 2 -seed 7 \
+  -no-adapt -save "$tmp/source.smore" -dump-target "$tmp/target" >/dev/null
+
+"$tmp/smore-serve" -load "$tmp/source.smore" -addr "$STREAM_ADDR" \
+  -stream-queue 128 -stream-batch 8 &
+stream_pid=$!
+pids+=("$stream_pid")
+wait_healthz "$STREAM_ADDR" "$stream_pid"
+
+labels=$(sed 's/\[//;s/\]//' "$tmp/target.labels.json")
+hits() { # stdin: /v1/predict response; prints correct-prediction count
+  sed 's/.*"predictions":\[//;s/\].*//' | awk -v l="$labels" '{
+    np = split($0, P, ","); nl = split(l, L, ",");
+    if (np != nl) { print -1; exit }
+    h = 0; for (i = 1; i <= np; i++) if (P[i] == L[i]) h++;
+    print h
+  }'
+}
+
+total=$(awk -v l="$labels" 'BEGIN{print split(l, L, ",")}')
+[ "$total" = "96" ] || fail "target dump has $total labels, want 96"
+
+# Baseline: the served model is unadapted, so a plain predict is source-only.
+base_resp=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$STREAM_ADDR/v1/predict")
+echo "$base_resp" | grep >/dev/null '"adapted":false' || fail "source-only bundle reports adapted=true before streaming"
+base_hits=$(echo "$base_resp" | hits)
+[ "$base_hits" -ge 0 ] || fail "baseline prediction count does not match label count"
+
+# Push the whole target split through the streaming queue in one 202 batch...
+code=$(curl -s -o "$tmp/stream_ack.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$STREAM_ADDR/v1/stream/adapt")
+[ "$code" = "202" ] || fail "stream adapt returned $code, want 202"
+grep -q '"accepted":96' "$tmp/stream_ack.json" || fail "stream adapt did not accept all 96 windows"
+
+# ...and poll the stats endpoint until the background adapter has folded it.
+for _ in $(seq 1 100); do
+  stats=$(curl -fsS "http://$STREAM_ADDR/v1/stream/stats")
+  if echo "$stats" | grep >/dev/null '"queue_depth":0' &&
+     echo "$stats" | grep >/dev/null '"in_flight":0' &&
+     echo "$stats" | grep >/dev/null '"windows_folded_total":96'; then
+    break
+  fi
+  sleep 0.1
+done
+echo "$stats" | grep >/dev/null '"windows_folded_total":96' || fail "stream never drained: $stats"
+echo "$stats" | grep >/dev/null '"batches_folded_total":12' || fail "expected 12 micro-batches of 8: $stats"
+
+curl -fsS "http://$STREAM_ADDR/metrics" | grep >/dev/null 'smore_stream_windows_folded_total 96' \
+  || fail "stream metrics did not count the folded windows"
+
+# The streamed-in adaptation must beat the source-only baseline.
+adapted_resp=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$STREAM_ADDR/v1/predict")
+echo "$adapted_resp" | grep >/dev/null '"adapted":true' || fail "model not adapted after stream drain"
+adapted_hits=$(echo "$adapted_resp" | hits)
+if [ "$adapted_hits" -le "$base_hits" ]; then
+  fail "streamed adaptation did not improve target accuracy: $base_hits/$total -> $adapted_hits/$total"
+fi
+echo "e2e: streamed adaptation improved target accuracy $base_hits/$total -> $adapted_hits/$total"
+
+# A batch larger than the whole queue can never fit: terminal 413, not a
+# retry-later 429 (transient queue-full 429s are pinned by the Go tests,
+# where the fold can be gated deterministically).
+TINY_ADDR="${SMORE_E2E_TINY_ADDR:-127.0.0.1:8793}"
+"$tmp/smore-serve" -load "$tmp/source.smore" -addr "$TINY_ADDR" \
+  -stream-queue 32 -stream-batch 8 &
+tiny_pid=$!
+pids+=("$tiny_pid")
+wait_healthz "$TINY_ADDR" "$tiny_pid"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$TINY_ADDR/v1/stream/adapt")
+[ "$code" = "413" ] || fail "never-fitting stream batch returned $code, want 413"
+curl -fsS "http://$TINY_ADDR/v1/stream/stats" | grep >/dev/null '"enqueued_total":0' \
+  || fail "rejected batch must not be partially enqueued"
+
+# SIGTERM must drain cleanly: both servers exit 0.
+kill -TERM "$stream_pid" "$tiny_pid"
+wait "$stream_pid" || fail "stream server did not shut down cleanly on SIGTERM"
+wait "$tiny_pid" || fail "tiny-queue server did not shut down cleanly on SIGTERM"
 
 echo "e2e serve OK"
