@@ -1,8 +1,11 @@
 // Command benchjson converts `go test -bench` output into the repo's
 // BENCH_N.json snapshot schema and, when given a committed baseline,
 // enforces the benchmark-regression gate: any benchmark whose ns/op grows
-// by more than -max-regress (default 25%) fails the run. It is the tool
-// behind `make bench-json` and the CI bench job.
+// by more than -max-regress (default 25%) fails the run, and any benchmark
+// the baseline pins at 0 allocs/op fails on any allocation at all. With
+// -summary (defaulting to $GITHUB_STEP_SUMMARY) it also appends a markdown
+// delta table, so the CI job summary shows every benchmark's movement. It
+// is the tool behind `make bench-json` and the CI bench job.
 //
 // Usage:
 //
@@ -100,8 +103,10 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 }
 
 // compare checks current against baseline and returns one violation string
-// per gate failure: a benchmark regressing by more than maxRegress, or a
-// baseline benchmark missing from the current run (so a speedup cannot be
+// per gate failure: a benchmark regressing by more than maxRegress, a
+// zero-alloc baseline benchmark that now allocates (any increase fails —
+// the zero-allocation hot paths are pinned exactly), or a baseline
+// benchmark missing from the current run (so a speedup cannot be
 // "protected" by silently deleting its benchmark).
 func compare(baseline, current []Benchmark, maxRegress float64) []string {
 	byKey := map[string]Benchmark{}
@@ -123,8 +128,47 @@ func compare(baseline, current []Benchmark, maxRegress float64) []string {
 					base.Name, base.Package, cur.NsPerOp, base.NsPerOp,
 					100*(cur.NsPerOp/base.NsPerOp-1), 100*maxRegress))
 		}
+		if base.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s (%s): %d allocs/op regresses the zero-allocation baseline",
+					base.Name, base.Package, cur.AllocsPerOp))
+		}
 	}
 	return violations
+}
+
+// writeSummary renders a GitHub-flavored markdown delta table of the
+// current run against the baseline — ns/op with percentage change and
+// allocs/op movement — for the CI job summary. Benchmarks new in this run
+// are listed after the baseline rows.
+func writeSummary(w io.Writer, baseline, current []Benchmark, baselineName string) {
+	byKey := map[string]Benchmark{}
+	for _, b := range current {
+		byKey[b.Package+"."+b.Name] = b
+	}
+	fmt.Fprintf(w, "### Benchmark deltas vs %s\n\n", baselineName)
+	fmt.Fprintln(w, "| Benchmark | Package | baseline ns/op | current ns/op | Δ ns/op | allocs/op |")
+	fmt.Fprintln(w, "| --- | --- | ---: | ---: | ---: | ---: |")
+	seen := map[string]bool{}
+	for _, base := range baseline {
+		key := base.Package + "." + base.Name
+		seen[key] = true
+		cur, ok := byKey[key]
+		if !ok {
+			fmt.Fprintf(w, "| %s | %s | %.1f | — | missing | — |\n", base.Name, base.Package, base.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %s | %.1f | %.1f | %+.1f%% | %d → %d |\n",
+			base.Name, base.Package, base.NsPerOp, cur.NsPerOp,
+			100*(cur.NsPerOp/base.NsPerOp-1), base.AllocsPerOp, cur.AllocsPerOp)
+	}
+	for _, cur := range current {
+		if seen[cur.Package+"."+cur.Name] {
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %s | — | %.1f | new | %d |\n", cur.Name, cur.Package, cur.NsPerOp, cur.AllocsPerOp)
+	}
+	fmt.Fprintln(w)
 }
 
 func run(in io.Reader, stdout, stderr io.Writer, args []string) int {
@@ -135,6 +179,8 @@ func run(in io.Reader, stdout, stderr io.Writer, args []string) int {
 		baseline   = fs.String("baseline", "", "BENCH_N.json to gate against; omit to skip the gate")
 		maxRegress = fs.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction")
 		command    = fs.String("command", "go test -bench . -benchmem -run ^$ ./...", "command string recorded in the snapshot")
+		summary    = fs.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
+			"append a markdown delta table to this file (defaults to $GITHUB_STEP_SUMMARY, so CI job summaries fill in automatically)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -180,6 +226,18 @@ func run(in io.Reader, stdout, stderr io.Writer, args []string) int {
 	if err := json.Unmarshal(baseBuf, &base); err != nil {
 		fmt.Fprintln(stderr, "benchjson: parse baseline:", err)
 		return 1
+	}
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson: open summary:", err)
+			return 1
+		}
+		writeSummary(f, base.Benchmarks, benches, *baseline)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchjson: write summary:", err)
+			return 1
+		}
 	}
 	violations := compare(base.Benchmarks, benches, *maxRegress)
 	if len(violations) == 0 {

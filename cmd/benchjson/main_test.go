@@ -85,7 +85,50 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCompareAllocsGate(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 0, Package: "p"},
+		{Name: "BenchmarkHeap", NsPerOp: 100, AllocsPerOp: 10, Package: "p"},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 1, Package: "p"},  // any alloc on a zero baseline fails
+		{Name: "BenchmarkHeap", NsPerOp: 100, AllocsPerOp: 50, Package: "p"}, // non-zero baselines are not alloc-gated
+	}
+	violations := compare(base, cur, 0.25)
+	if len(violations) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0], "BenchmarkZero") || !strings.Contains(violations[0], "allocs/op") {
+		t.Errorf("violation should flag BenchmarkZero's allocation: %s", violations[0])
+	}
+	if v := compare(base, base, 0.25); len(v) != 0 {
+		t.Errorf("identical allocs produced violations: %v", v)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 5, Package: "p"},
+		{Name: "BenchmarkGone", NsPerOp: 50, Package: "p"},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 0, Package: "p"},
+		{Name: "BenchmarkNew", NsPerOp: 10, AllocsPerOp: 2, Package: "p"},
+	}
+	var buf bytes.Buffer
+	writeSummary(&buf, base, cur, "BENCH_X.json")
+	out := buf.String()
+	for _, want := range []string{"BENCH_X.json", "-50.0%", "5 → 0", "missing", "| new |", "BenchmarkNew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
+	// -summary defaults to $GITHUB_STEP_SUMMARY; blank it so test runs in
+	// CI do not append fake delta tables to the real job summary.
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
 	dir := t.TempDir()
 	outPath := filepath.Join(dir, "bench.json")
 
@@ -126,5 +169,21 @@ func TestRunEndToEnd(t *testing.T) {
 	// Empty input is an error, not an empty snapshot.
 	if code := run(strings.NewReader("PASS\n"), &stdout, &stderr, nil); code != 1 {
 		t.Fatalf("empty input exited %d, want 1", code)
+	}
+
+	// A -summary file accumulates the markdown delta table (append mode,
+	// like $GITHUB_STEP_SUMMARY).
+	sumPath := filepath.Join(dir, "summary.md")
+	stderr.Reset()
+	if code := run(strings.NewReader(sampleOutput), &stdout, &stderr,
+		[]string{"-baseline", outPath, "-summary", sumPath}); code != 0 {
+		t.Fatalf("summary run exited %d: %s", code, stderr.String())
+	}
+	sum, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sum), "BenchmarkEncode") || !strings.Contains(string(sum), "Δ ns/op") {
+		t.Fatalf("summary file missing the delta table:\n%s", sum)
 	}
 }

@@ -24,14 +24,58 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"go-arxiv/smore/internal/pipeline"
 	"go-arxiv/smore/internal/serve"
 )
+
+// pprofListenAddr normalizes the -pprof-addr flag: a bare port or
+// ":port" binds localhost, so profiling is never exposed on all
+// interfaces unless an explicit host is given.
+func pprofListenAddr(addr string) string {
+	if !strings.Contains(addr, ":") {
+		return "127.0.0.1:" + addr
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	return addr
+}
+
+// startPprof serves net/http/pprof on its own mux and listener, separate
+// from the public API surface, so the debug endpoints never ride along on
+// the serving address.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// Slow-client bounds, mirroring the main listener. Write stays
+		// generous because /debug/pprof/profile and /trace stream for
+		// their whole sampling window.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		log.Printf("smore-serve: pprof on http://%s/debug/pprof/", addr)
+		if err := srv.ListenAndServe(); err != nil {
+			log.Printf("smore-serve: pprof listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	var (
@@ -45,6 +89,7 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", time.Minute, "maximum duration for reading an entire request")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "maximum duration for writing a response")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests, then again for the stream queue")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (opt-in; a bare port like 6060 binds localhost); empty disables")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -67,6 +112,9 @@ func main() {
 	mcfg := b.Model.Config()
 	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v stream-queue=%d stream-batch=%d)",
 		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), *streamQueue, *streamBatch)
+	if *pprofAddr != "" {
+		startPprof(pprofListenAddr(*pprofAddr))
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"go-arxiv/smore/internal/data"
@@ -17,6 +19,32 @@ import (
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
 )
+
+// fatal reports an error and exits non-zero, first flushing any in-flight
+// CPU profile so a failed run still leaves a readable profile file.
+// (StopCPUProfile is a no-op when profiling never started.)
+func fatal(v ...any) {
+	pprof.StopCPUProfile()
+	fmt.Fprintln(os.Stderr, append([]any{"smore:"}, v...)...)
+	os.Exit(1)
+}
+
+// writeHeapProfile snapshots the heap to path after a GC, so the profile
+// reflects live objects rather than garbage awaiting collection.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "smore: wrote heap profile to %s\n", path)
+}
 
 func main() {
 	var (
@@ -40,11 +68,26 @@ func main() {
 		noAdapt    = flag.Bool("no-adapt", false, "skip adaptation: evaluate and save the source-only model (the starting point for streaming adaptation)")
 		streamN    = flag.Int("stream", 0, "replay the target split as an arriving stream with this micro-batch size instead of one-shot adaptation")
 		dumpTarget = flag.String("dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file before a clean exit")
 	)
 	flag.Parse()
 	if *noAdapt && *streamN > 0 {
 		fmt.Fprintln(os.Stderr, "smore: -no-adapt and -stream are mutually exclusive")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
 	}
 
 	cfg := pipeline.Config{
@@ -72,8 +115,7 @@ func main() {
 	if *load != "" {
 		b, lerr := pipeline.LoadBundleFile(*load)
 		if lerr != nil {
-			fmt.Fprintln(os.Stderr, "smore:", lerr)
-			os.Exit(1)
+			fatal(lerr)
 		}
 		cfg.Encoder = b.Encoder
 		cfg.Model = b.Model.Config()
@@ -82,13 +124,11 @@ func main() {
 		art, err = pipeline.Train(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smore:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *dumpTarget != "" {
 		if err := writeTargetDump(art, *dumpTarget); err != nil {
-			fmt.Fprintln(os.Stderr, "smore:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "smore: dumped target split to %s.windows.json / %s.labels.json\n", *dumpTarget, *dumpTarget)
 	}
@@ -104,14 +144,12 @@ func main() {
 		res, err = art.Evaluate()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smore:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond).String()
 	if *save != "" {
 		if err := art.Bundle().SaveFile(*save); err != nil {
-			fmt.Fprintln(os.Stderr, "smore:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "smore: saved model bundle to %s\n", *save)
 	}
@@ -127,8 +165,7 @@ func main() {
 			streamRes.Elapsed = elapsed
 		}
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "smore:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/parallel"
@@ -55,6 +56,17 @@ type Encoder struct {
 	cfg       Config
 	sensorIDs []hdc.Vector // one quasi-orthogonal ID per sensor
 	levels    []hdc.Vector // correlated level vectors, similarity decays with distance
+
+	// pairs caches every sensorID ⊗ level binding in one contiguous
+	// row-major matrix (row s*Levels+l): the sensor/level space is finite,
+	// so the per-sample inner loop of Encode is a row lookup instead of an
+	// XOR pass over the whole vector.
+	pairs *hdc.Matrix
+
+	// scratch pools *Scratch values so Encode and EncodeBatch reuse
+	// per-window working state instead of reallocating it; serving and
+	// streaming traffic hit this steady-state path on every request.
+	scratch sync.Pool
 }
 
 // New builds the encoder's item memories deterministically from cfg.Seed.
@@ -86,6 +98,13 @@ func New(cfg Config) (*Encoder, error) {
 		}
 		e.levels[l] = v
 	}
+	e.pairs = hdc.NewMatrix(cfg.Sensors*cfg.Levels, cfg.Dim)
+	for s := range cfg.Sensors {
+		for l := range cfg.Levels {
+			row := e.pairs.Row(s*cfg.Levels + l)
+			e.sensorIDs[s].BindInto(e.levels[l], &row)
+		}
+	}
 	return e, nil
 }
 
@@ -110,43 +129,146 @@ func (e *Encoder) Quantize(x float64) int {
 	return l
 }
 
+// Scratch is the reusable working state of one Encode pass: the current
+// step and gram vectors, the ring of shifted steps the sliding recurrence
+// folds out, and the window accumulator. A Scratch is bound to the encoder
+// configuration it was created from and is not safe for concurrent use;
+// create one per goroutine with NewScratch, or let Encode/EncodeBatch pool
+// them internally.
+type Scratch struct {
+	rows   []hdc.Vector // bound-pair rows selected by the current timestep
+	step   hdc.Vector   // spatial bundle of the current timestep
+	gram   hdc.Vector   // sliding n-gram of the last NGram steps
+	tmp    hdc.Vector   // rotation target, swapped with gram
+	ring   []hdc.Vector // P^(NGram-1)-shifted steps, indexed t mod NGram
+	winAcc *hdc.Accumulator
+
+	// stepAcc is the fallback spatial bundler for configurations with more
+	// sensors than the fused register kernel can count.
+	stepAcc *hdc.Accumulator
+}
+
+// NewScratch allocates encode working state sized for e's configuration.
+func (e *Encoder) NewScratch() *Scratch {
+	c := e.cfg
+	sc := &Scratch{
+		rows:   make([]hdc.Vector, c.Sensors),
+		step:   hdc.New(c.Dim),
+		gram:   hdc.New(c.Dim),
+		tmp:    hdc.New(c.Dim),
+		winAcc: hdc.NewAccumulator(c.Dim),
+	}
+	if c.NGram > 1 {
+		sc.ring = make([]hdc.Vector, c.NGram)
+		for i := range sc.ring {
+			sc.ring[i] = hdc.New(c.Dim)
+		}
+	}
+	if c.Sensors > hdc.BundleRowsMax {
+		sc.stepAcc = hdc.NewAccumulator(c.Dim)
+	}
+	return sc
+}
+
+func (e *Encoder) getScratch() *Scratch {
+	if sc, ok := e.scratch.Get().(*Scratch); ok {
+		return sc
+	}
+	return e.NewScratch()
+}
+
 // Encode maps a window to a hypervector. window[t][s] is the value of
 // sensor s at timestep t; every row must have exactly cfg.Sensors values
 // and the window must hold at least NGram timesteps.
 func (e *Encoder) Encode(window [][]float64) (hdc.Vector, error) {
+	sc := e.getScratch()
+	defer e.scratch.Put(sc)
+	out := hdc.New(e.cfg.Dim)
+	if err := e.EncodeInto(sc, window, &out); err != nil {
+		return hdc.Vector{}, err
+	}
+	return out, nil
+}
+
+// EncodeInto encodes window into dst using sc's buffers; with a reused
+// Scratch and a caller-owned dst the steady-state path allocates nothing.
+//
+// The temporal pass exploits that permutation is a rotation and bind is
+// XOR, so rotation distributes over the n-gram product: with
+// gram(t) = Π_k P^(n-1-k)(step[t+k]),
+//
+//	gram(t+1) = P( gram(t) ⊗ P^(n-1)(step[t]) ) ⊗ step[t+n]
+//
+// — fold out the leaving step (its P^(n-1) shift was stashed in the ring
+// when it entered), rotate once, fold in the arriving step. Each position
+// therefore costs O(1) vector ops regardless of NGram, instead of the
+// NGram permute+bind passes of the direct product, and the bits are
+// identical because every operation is exact.
+func (e *Encoder) EncodeInto(sc *Scratch, window [][]float64, dst *hdc.Vector) error {
 	c := e.cfg
 	if len(window) < c.NGram {
-		return hdc.Vector{}, fmt.Errorf("encode: window of %d timesteps shorter than n-gram %d", len(window), c.NGram)
+		return fmt.Errorf("encode: window of %d timesteps shorter than n-gram %d", len(window), c.NGram)
 	}
-	// Per-timestep spatial encoding: bundle of sensorID ⊗ level terms.
-	steps := make([]hdc.Vector, len(window))
-	bound := hdc.New(c.Dim)
-	stepAcc := hdc.NewAccumulator(c.Dim)
+	if dst.Dim() != c.Dim {
+		return fmt.Errorf("encode: destination dimension %d, want %d", dst.Dim(), c.Dim)
+	}
+	n := c.NGram
+	sc.winAcc.Reset()
 	for t, row := range window {
 		if len(row) != c.Sensors {
-			return hdc.Vector{}, fmt.Errorf("encode: timestep %d has %d sensors, want %d", t, len(row), c.Sensors)
+			return fmt.Errorf("encode: timestep %d has %d sensors, want %d", t, len(row), c.Sensors)
 		}
-		stepAcc.Reset()
+		e.bundleStep(sc, row)
+		if n == 1 {
+			sc.winAcc.Add(sc.step, 1)
+			continue
+		}
+		if t == 0 {
+			sc.step.CopyInto(&sc.gram)
+		} else {
+			// Slide: drop the leaving step once the window is full, rotate
+			// the partial gram, fold in the new step. Before the window
+			// fills this same rotate-and-fold builds gram(0) incrementally.
+			if t >= n {
+				sc.gram.BindInto(sc.ring[t%n], &sc.gram)
+			}
+			sc.gram.PermuteInto(1, &sc.tmp)
+			sc.gram, sc.tmp = sc.tmp, sc.gram
+			sc.gram.BindInto(sc.step, &sc.gram)
+		}
+		if t >= n-1 {
+			sc.winAcc.Add(sc.gram, 1)
+		}
+		if t+n < len(window) {
+			// This step leaves the sliding gram at timestep t+n; stash its
+			// P^(n-1) shift now so the removal there is a single XOR. The
+			// slot it lands in is exactly the one the fold-out at t+n reads
+			// first.
+			sc.step.PermuteInto(n-1, &sc.ring[t%n])
+		}
+	}
+	sc.winAcc.MajorityInto(dst)
+	return nil
+}
+
+// bundleStep writes the spatial encoding of one timestep into sc.step: the
+// majority bundle of the cached sensorID ⊗ level rows selected by the
+// row's quantized values. Configurations within the fused kernel's lane
+// budget never touch accumulator staging memory.
+func (e *Encoder) bundleStep(sc *Scratch, row []float64) {
+	c := e.cfg
+	if sc.stepAcc == nil {
 		for s, x := range row {
-			e.sensorIDs[s].BindInto(e.levels[e.Quantize(x)], &bound)
-			stepAcc.Add(bound, 1)
+			sc.rows[s] = e.pairs.Row(s*c.Levels + e.Quantize(x))
 		}
-		steps[t] = stepAcc.Majority()
+		hdc.BundleRowsInto(&sc.step, sc.rows...)
+		return
 	}
-	// Temporal n-grams: gram(t) = Π_k permute(steps[t+k], NGram-1-k),
-	// bundled over all window positions.
-	winAcc := hdc.NewAccumulator(c.Dim)
-	gram := hdc.New(c.Dim)
-	shifted := hdc.New(c.Dim)
-	for t := 0; t+c.NGram <= len(steps); t++ {
-		steps[t].PermuteInto(c.NGram-1, &gram)
-		for k := 1; k < c.NGram; k++ {
-			steps[t+k].PermuteInto(c.NGram-1-k, &shifted)
-			gram.BindInto(shifted, &gram)
-		}
-		winAcc.Add(gram, 1)
+	sc.stepAcc.Reset()
+	for s, x := range row {
+		sc.stepAcc.Add(e.pairs.Row(s*c.Levels+e.Quantize(x)), 1)
 	}
-	return winAcc.Majority(), nil
+	sc.stepAcc.MajorityInto(&sc.step)
 }
 
 // EncodeBatch encodes windows concurrently on a pool of the given worker

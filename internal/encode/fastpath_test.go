@@ -1,0 +1,160 @@
+package encode
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// encodeReference is the pre-recurrence encoder: materialize every
+// timestep bundle, then build each n-gram as the full permute-and-bind
+// product. It is the brute-force oracle the sliding fast path must match
+// bit for bit.
+func encodeReference(e *Encoder, window [][]float64) hdc.Vector {
+	c := e.cfg
+	steps := make([]hdc.Vector, len(window))
+	bound := hdc.New(c.Dim)
+	stepAcc := hdc.NewAccumulator(c.Dim)
+	for t, row := range window {
+		stepAcc.Reset()
+		for s, x := range row {
+			e.sensorIDs[s].BindInto(e.levels[e.Quantize(x)], &bound)
+			stepAcc.Add(bound, 1)
+		}
+		steps[t] = stepAcc.Majority()
+	}
+	winAcc := hdc.NewAccumulator(c.Dim)
+	gram := hdc.New(c.Dim)
+	shifted := hdc.New(c.Dim)
+	for t := 0; t+c.NGram <= len(steps); t++ {
+		steps[t].PermuteInto(c.NGram-1, &gram)
+		for k := 1; k < c.NGram; k++ {
+			steps[t+k].PermuteInto(c.NGram-1-k, &shifted)
+			gram.BindInto(shifted, &gram)
+		}
+		winAcc.Add(gram, 1)
+	}
+	return winAcc.Majority()
+}
+
+func randomWindow(rng *rand.Rand, timesteps, sensors int) [][]float64 {
+	w := make([][]float64, timesteps)
+	for t := range w {
+		row := make([]float64, sensors)
+		for s := range row {
+			row[s] = 6*rng.Float64() - 3
+		}
+		w[t] = row
+	}
+	return w
+}
+
+// TestEncodeMatchesBruteForceOracle sweeps n-gram lengths, window lengths
+// (including windows exactly one n-gram long), and sensor counts on both
+// sides of the fused-bundle lane budget, asserting the sliding recurrence
+// plus bound-pair cache is byte-identical to the direct product.
+func TestEncodeMatchesBruteForceOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, tc := range []struct {
+		ngram, timesteps, sensors int
+	}{
+		{1, 1, 3}, {1, 9, 3},
+		{2, 2, 3}, {2, 17, 4},
+		{3, 3, 4}, {3, 16, 4}, {3, 64, 4},
+		{5, 5, 2}, {5, 23, 2},
+		{7, 40, 1},
+		{3, 12, hdc.BundleRowsMax},     // largest fused bundle
+		{3, 12, hdc.BundleRowsMax + 2}, // accumulator fallback path
+	} {
+		cfg := Config{Dim: 512, Sensors: tc.sensors, Levels: 8, NGram: tc.ngram, Min: -3, Max: 3, Seed: 77}
+		enc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := randomWindow(rng, tc.timesteps, tc.sensors)
+		got := enc.MustEncode(window)
+		want := encodeReference(enc, window)
+		if !got.Equal(want) {
+			t.Fatalf("ngram=%d timesteps=%d sensors=%d: fast path diverged from brute-force oracle",
+				tc.ngram, tc.timesteps, tc.sensors)
+		}
+	}
+}
+
+// TestBoundPairCache pins the precomputed pairs matrix to the binding it
+// replaces.
+func TestBoundPairCache(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := enc.cfg
+	for s := range c.Sensors {
+		for l := range c.Levels {
+			if !enc.pairs.Row(s*c.Levels + l).Equal(enc.sensorIDs[s].Bind(enc.levels[l])) {
+				t.Fatalf("cached pair (sensor %d, level %d) != sensorID ⊗ level", s, l)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoZeroAllocs pins the scratch fast path at zero allocations
+// per window, so the serving hot path cannot silently regress back to
+// per-call state.
+func TestEncodeIntoZeroAllocs(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := enc.NewScratch()
+	window := testWindow()
+	dst := hdc.New(enc.cfg.Dim)
+	if err := enc.EncodeInto(sc, window, &dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := enc.EncodeInto(sc, window, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEncodeIntoErrors(t *testing.T) {
+	enc, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := enc.NewScratch()
+	short := hdc.New(64)
+	if err := enc.EncodeInto(sc, testWindow(), &short); err == nil {
+		t.Error("accepted a destination with the wrong dimension")
+	}
+	dst := hdc.New(enc.cfg.Dim)
+	if err := enc.EncodeInto(sc, [][]float64{{0, 0, 0}}, &dst); err == nil {
+		t.Error("accepted a window shorter than the n-gram")
+	}
+}
+
+// BenchmarkEncodeScratch is the zero-allocation steady-state encode path
+// the serving and streaming layers run per window.
+func BenchmarkEncodeScratch(b *testing.B) {
+	enc, err := New(Config{Dim: 4096, Sensors: 4, Levels: 32, NGram: 3, Min: -3, Max: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 3))
+	window := randomWindow(rng, 64, 4)
+	sc := enc.NewScratch()
+	dst := hdc.New(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if err := enc.EncodeInto(sc, window, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

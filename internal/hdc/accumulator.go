@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 )
 
@@ -42,8 +43,13 @@ const (
 	// weightScale is the fixed-point scale of the int32 counters.
 	weightScale = 256
 	// stagePlanes is the width of the bit-sliced staging counter; it can
-	// hold stageCap = 2^stagePlanes - 1 unit adds before a flush.
-	stagePlanes = 4
+	// hold stageCap = 2^stagePlanes - 1 unit adds before a flush. Eight
+	// planes let a whole window bundle (hundreds of n-grams) binarize
+	// straight from the battery without ever expanding to int32 counters;
+	// adds, flushes, and Reset all skip the planes the current staged
+	// count cannot have reached, so the extra width costs nothing on
+	// small bundles.
+	stagePlanes = 8
 	stageCap    = 1<<stagePlanes - 1
 	// maxWeight bounds |weight| in Add so the scaled fixed-point value
 	// (and a doubling of it in the branchless inner loop) stays well
@@ -120,39 +126,34 @@ func (a *Accumulator) Add(v Vector, weight float64) {
 	}
 }
 
+// usedPlanes returns how many low staging planes can be nonzero: per-bit
+// counts never exceed the staged add count, so every plane at or above its
+// bit length is still all-zero and can be skipped by flush, Majority, and
+// Reset.
+func (a *Accumulator) usedPlanes() int {
+	return bits.Len(uint(a.staged))
+}
+
 // addUnit ripples words (XORed with inv, so inv == ^0 adds the complement)
 // into the staging battery: one carry-propagating add across the planes
-// advances 64 counters per word operation.
+// advances 64 counters per word operation. The carry chain stops as soon as
+// it dies, which keeps the average well under two plane passes.
 func (a *Accumulator) addUnit(words []uint64, inv uint64) {
 	if a.staged == stageCap {
 		a.flush()
 	}
 	n := a.dim / WordBits
-	p0 := a.planes[0*n : 1*n : 1*n]
-	p1 := a.planes[1*n : 2*n : 2*n]
-	p2 := a.planes[2*n : 3*n : 3*n]
-	p3 := a.planes[3*n : 4*n : 4*n]
+	var ps [stagePlanes][]uint64
+	for p := range ps {
+		ps[p] = a.planes[p*n : (p+1)*n : (p+1)*n]
+	}
 	for wi, w := range words {
 		carry := w ^ inv
-		if carry == 0 {
-			continue
+		for p := 0; carry != 0; p++ {
+			t := ps[p][wi]
+			ps[p][wi] = t ^ carry
+			carry &= t
 		}
-		t := p0[wi]
-		p0[wi] = t ^ carry
-		if carry &= t; carry == 0 {
-			continue
-		}
-		t = p1[wi]
-		p1[wi] = t ^ carry
-		if carry &= t; carry == 0 {
-			continue
-		}
-		t = p2[wi]
-		p2[wi] = t ^ carry
-		if carry &= t; carry == 0 {
-			continue
-		}
-		p3[wi] ^= carry
 	}
 	a.staged++
 }
@@ -165,13 +166,23 @@ func (a *Accumulator) flush() {
 	}
 	staged := a.staged
 	n := a.dim / WordBits
-	p0, p1, p2, p3 := a.plane(0), a.plane(1), a.plane(2), a.plane(3)
+	top := a.usedPlanes()
+	var ps [stagePlanes][]uint64
+	for p := 0; p < top; p++ {
+		ps[p] = a.plane(p)
+	}
 	for wi := range n {
-		w0, w1, w2, w3 := p0[wi], p1[wi], p2[wi], p3[wi]
-		p0[wi], p1[wi], p2[wi], p3[wi] = 0, 0, 0, 0
+		var pw [stagePlanes]uint64
+		for p := 0; p < top; p++ {
+			pw[p] = ps[p][wi]
+			ps[p][wi] = 0
+		}
 		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
 		for j := 0; j < WordBits; j++ {
-			ones := int32(w0>>j&1) | int32(w1>>j&1)<<1 | int32(w2>>j&1)<<2 | int32(w3>>j&1)<<3
+			ones := int32(0)
+			for p := 0; p < top; p++ {
+				ones |= int32(pw[p]>>j&1) << p
+			}
 			c[j] = satAdd(c[j], (ones<<1-staged)*weightScale)
 		}
 	}
@@ -219,13 +230,23 @@ func (a *Accumulator) AddScaled(other *Accumulator, weight float64) {
 	}
 	a.flush()
 	staged := other.staged
-	o0, o1, o2, o3 := other.plane(0), other.plane(1), other.plane(2), other.plane(3)
+	otop := other.usedPlanes()
+	var ops [stagePlanes][]uint64
+	for p := 0; p < otop; p++ {
+		ops[p] = other.plane(p)
+	}
 	for wi := range other.dim / WordBits {
-		w0, w1, w2, w3 := o0[wi], o1[wi], o2[wi], o3[wi]
+		var pw [stagePlanes]uint64
+		for p := 0; p < otop; p++ {
+			pw[p] = ops[p][wi]
+		}
 		oc := (*[WordBits]int32)(other.counts[wi*WordBits:])
 		c := (*[WordBits]int32)(a.counts[wi*WordBits:])
 		for j := 0; j < WordBits; j++ {
-			ones := int32(w0>>j&1) | int32(w1>>j&1)<<1 | int32(w2>>j&1)<<2 | int32(w3>>j&1)<<3
+			ones := int32(0)
+			for p := 0; p < otop; p++ {
+				ones |= int32(pw[p]>>j&1) << p
+			}
 			// int64: a rail-saturated counter plus the staged
 			// contribution would wrap int32.
 			eff := int64(oc[j]) + int64((ones<<1-staged)*weightScale)
@@ -255,9 +276,19 @@ func (a *Accumulator) AddScaled(other *Accumulator, weight float64) {
 // vectors stay unbiased yet reproducible.
 func (a *Accumulator) Majority() Vector {
 	v := New(a.dim)
+	a.MajorityInto(&v)
+	return v
+}
+
+// MajorityInto is Majority writing into a caller-owned vector of the same
+// dimension, so hot paths can binarize without allocating.
+func (a *Accumulator) MajorityInto(v *Vector) {
+	if v.dim != a.dim {
+		panic("hdc: accumulator dimension mismatch")
+	}
 	if !a.dirty {
-		a.majorityStaged(&v)
-		return v
+		a.majorityStaged(v)
+		return
 	}
 	a.flush()
 	for wi := range v.words {
@@ -275,13 +306,13 @@ func (a *Accumulator) Majority() Vector {
 		}
 		v.words[wi] = pos | zero&a.ties[wi]
 	}
-	return v
 }
 
 // majorityStaged binarizes directly from the staging battery without
 // expanding per-bit integers: counter i is 2*ones_i - staged, so bit i is 1
 // iff ones_i > staged/2, with a tie exactly when staged is even and
-// ones_i == staged/2. The plane-vs-constant comparison runs word-parallel.
+// ones_i == staged/2. The plane-vs-constant comparison runs word-parallel
+// over only the planes the staged count can have reached.
 func (a *Accumulator) majorityStaged(v *Vector) {
 	if a.staged == 0 {
 		copy(v.words, a.ties) // every counter is zero: all ties
@@ -289,19 +320,21 @@ func (a *Accumulator) majorityStaged(v *Vector) {
 	}
 	k := uint64(a.staged) / 2
 	even := a.staged%2 == 0
-	p0, p1, p2, p3 := a.plane(0), a.plane(1), a.plane(2), a.plane(3)
-	k0, k1, k2, k3 := -(k & 1), -(k >> 1 & 1), -(k >> 2 & 1), -(k >> 3 & 1)
+	top := a.usedPlanes()
+	var ps [stagePlanes][]uint64
+	var km [stagePlanes]uint64
+	for p := 0; p < top; p++ {
+		ps[p] = a.plane(p)
+		km[p] = -(k >> p & 1)
+	}
 	for wi := range v.words {
-		// MSB-first compare of the 4-bit sliced ones-count against k.
+		// MSB-first compare of the bit-sliced ones-count against k.
 		gt, eq := uint64(0), ^uint64(0)
-		gt |= eq & p3[wi] &^ k3
-		eq &= ^(p3[wi] ^ k3)
-		gt |= eq & p2[wi] &^ k2
-		eq &= ^(p2[wi] ^ k2)
-		gt |= eq & p1[wi] &^ k1
-		eq &= ^(p1[wi] ^ k1)
-		gt |= eq & p0[wi] &^ k0
-		eq &= ^(p0[wi] ^ k0)
+		for p := top - 1; p >= 0; p-- {
+			pw := ps[p][wi]
+			gt |= eq & pw &^ km[p]
+			eq &= ^(pw ^ km[p])
+		}
 		w := gt
 		if even {
 			w |= eq & a.ties[wi]
@@ -310,14 +343,16 @@ func (a *Accumulator) majorityStaged(v *Vector) {
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. Only the staging planes the current batch can
+// have touched are cleared, so resetting between small bundles (the encode
+// hot path) costs a few cache lines, not the whole battery.
 func (a *Accumulator) Reset() {
 	if a.dirty {
 		clear(a.counts)
 		a.dirty = false
 	}
 	if a.staged != 0 {
-		clear(a.planes)
+		clear(a.planes[:a.usedPlanes()*a.dim/WordBits])
 		a.staged = 0
 	}
 }

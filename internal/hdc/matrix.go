@@ -1,0 +1,90 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Matrix is a packed, row-major set of hypervectors sharing one dimension:
+// row r occupies words [r*Dim/64, (r+1)*Dim/64) of a single contiguous
+// allocation. Scoring a query against every row with CosineInto streams
+// that one allocation instead of pointer-chasing per-row heap slices, which
+// is what makes it the similarity kernel behind prototype scoring.
+type Matrix struct {
+	dim, rows int
+	words     []uint64
+}
+
+// NewMatrix returns an all-zero matrix of the given shape.
+func NewMatrix(rows, dim int) *Matrix {
+	if err := CheckDim(dim); err != nil {
+		panic(err)
+	}
+	if rows < 0 {
+		panic(fmt.Sprintf("hdc: negative matrix row count %d", rows))
+	}
+	return &Matrix{dim: dim, rows: rows, words: make([]uint64, rows*dim/WordBits)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Dim returns the per-row dimension in bits.
+func (m *Matrix) Dim() int { return m.dim }
+
+// Row returns a view of row r that shares the matrix's storage: writes
+// through the returned vector update the matrix in place, which is how
+// prototype rebuilds binarize straight into the packed layout.
+func (m *Matrix) Row(r int) Vector {
+	n := m.dim / WordBits
+	return Vector{dim: m.dim, words: m.words[r*n : (r+1)*n : (r+1)*n]}
+}
+
+// SetRow copies v into row r. v must match the matrix dimension.
+func (m *Matrix) SetRow(r int, v Vector) {
+	if v.dim != m.dim {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", v.dim, m.dim))
+	}
+	n := m.dim / WordBits
+	copy(m.words[r*n:(r+1)*n], v.words)
+}
+
+// blockWords is the query stripe CosineInto processes at a time: 4 KiB of
+// query words stay resident in L1 while every row's matching stripe streams
+// past once.
+const blockWords = 512
+
+// CosineInto writes q's cosine similarity to every row into dst[:Rows()],
+// bit-exactly equal to calling q.Cosine on each row. The popcount pass is
+// blocked: the matrix is streamed through the cache exactly once per call
+// regardless of dimension, and nothing is allocated.
+func (m *Matrix) CosineInto(q Vector, dst []float64) {
+	if q.dim != m.dim {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", q.dim, m.dim))
+	}
+	if len(dst) < m.rows {
+		panic(fmt.Sprintf("hdc: destination holds %d scores, need %d", len(dst), m.rows))
+	}
+	n := m.dim / WordBits
+	dst = dst[:m.rows]
+	for r := range dst {
+		dst[r] = 0
+	}
+	for b0 := 0; b0 < n; b0 += blockWords {
+		b1 := min(b0+blockWords, n)
+		qb := q.words[b0:b1]
+		for r := 0; r < m.rows; r++ {
+			row := m.words[r*n+b0 : r*n+b1 : r*n+b1]
+			h := 0
+			for i, w := range qb {
+				h += bits.OnesCount64(w ^ row[i])
+			}
+			// Partial Hamming counts are small integers, exact in float64.
+			dst[r] += float64(h)
+		}
+	}
+	for r := range dst {
+		// Same expression as Vector.Cosine, so the scores are bit-equal.
+		dst[r] = 1 - 2*dst[r]/float64(m.dim)
+	}
+}

@@ -1,0 +1,197 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixRowSharesStorage(t *testing.T) {
+	m := NewMatrix(3, 128)
+	row := m.Row(1)
+	row.SetBit(5, 1)
+	if m.Row(1).Bit(5) != 1 {
+		t.Fatal("write through Row view did not reach the matrix")
+	}
+	if m.Row(0).PopCount() != 0 || m.Row(2).PopCount() != 0 {
+		t.Fatal("row write leaked into a neighboring row")
+	}
+}
+
+func TestMatrixSetRow(t *testing.T) {
+	rng := testRNG(21)
+	m := NewMatrix(4, 256)
+	v := Random(rng, 256)
+	m.SetRow(2, v)
+	if !m.Row(2).Equal(v) {
+		t.Fatal("SetRow did not copy the vector")
+	}
+	v.FlipBit(0)
+	if m.Row(2).Equal(v) {
+		t.Fatal("SetRow aliased the source instead of copying")
+	}
+}
+
+// TestMatrixCosineIntoMatchesVectorCosine is the kernel's correctness
+// contract: the packed, blocked scoring pass must be bit-equal to the
+// per-row Vector.Cosine it replaces, including on dimensions larger than
+// one cache block.
+func TestMatrixCosineIntoMatchesVectorCosine(t *testing.T) {
+	rng := testRNG(22)
+	for _, dim := range []int{64, 512, 4096, blockWords*WordBits + 128} {
+		rows := 7
+		m := NewMatrix(rows, dim)
+		for r := range rows {
+			m.SetRow(r, Random(rng, dim))
+		}
+		q := Random(rng, dim)
+		got := make([]float64, rows)
+		m.CosineInto(q, got)
+		for r := range rows {
+			if want := q.Cosine(m.Row(r)); got[r] != want {
+				t.Fatalf("dim %d row %d: CosineInto %v != Cosine %v", dim, r, got[r], want)
+			}
+		}
+	}
+}
+
+func TestMatrixCosineIntoSelfAndComplement(t *testing.T) {
+	rng := testRNG(23)
+	m := NewMatrix(2, 256)
+	v := Random(rng, 256)
+	m.SetRow(0, v)
+	inv := v.Clone()
+	for i := range 256 {
+		inv.FlipBit(i)
+	}
+	m.SetRow(1, inv)
+	dst := []float64{math.NaN(), math.NaN()}
+	m.CosineInto(v, dst)
+	if dst[0] != 1 || dst[1] != -1 {
+		t.Fatalf("self/complement scores = %v, want [1 -1]", dst)
+	}
+}
+
+// TestBundleRowsIntoMatchesAccumulator pins the fused bundle kernel to the
+// accumulator's semantics for every legal input count, odd and even (the
+// even counts exercise the deterministic tie-break).
+func TestBundleRowsIntoMatchesAccumulator(t *testing.T) {
+	rng := testRNG(24)
+	for s := 1; s <= BundleRowsMax; s++ {
+		vs := make([]Vector, s)
+		for i := range vs {
+			vs[i] = Random(rng, 256)
+		}
+		acc := NewAccumulator(256)
+		for _, v := range vs {
+			acc.Add(v, 1)
+		}
+		want := acc.Majority()
+		got := New(256)
+		BundleRowsInto(&got, vs...)
+		if !got.Equal(want) {
+			t.Fatalf("BundleRowsInto of %d vectors diverged from Accumulator Majority", s)
+		}
+	}
+}
+
+func TestBundleRowsIntoAllEqualAndTies(t *testing.T) {
+	rng := testRNG(25)
+	v := Random(rng, 128)
+	out := New(128)
+	BundleRowsInto(&out, v, v, v)
+	if !out.Equal(v) {
+		t.Fatal("bundle of three copies must be the vector itself")
+	}
+	// Two complementary vectors tie on every bit: the result must be the
+	// deterministic tie mask, exactly like the accumulator path.
+	inv := v.Clone()
+	for i := range 128 {
+		inv.FlipBit(i)
+	}
+	acc := NewAccumulator(128)
+	acc.Add(v, 1)
+	acc.Add(inv, 1)
+	want := acc.Majority()
+	BundleRowsInto(&out, v, inv)
+	if !out.Equal(want) {
+		t.Fatal("all-ties bundle diverged from the accumulator tie-break")
+	}
+}
+
+func TestBundleRowsIntoBounds(t *testing.T) {
+	out := New(64)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty input", func() { BundleRowsInto(&out) })
+	rng := testRNG(26)
+	too := make([]Vector, BundleRowsMax+1)
+	for i := range too {
+		too[i] = Random(rng, 64)
+	}
+	mustPanic("too many inputs", func() { BundleRowsInto(&out, too...) })
+	mustPanic("dimension mismatch", func() { BundleRowsInto(&out, Random(rng, 128)) })
+}
+
+func TestMajorityIntoMatchesMajority(t *testing.T) {
+	// Staged-only, flushed, and mixed accumulators must all binarize the
+	// same through MajorityInto as through Majority. Each fill reseeds so
+	// both accumulators of a pair see identical vectors.
+	for name, fill := range map[string]func(a *Accumulator){
+		"staged": func(a *Accumulator) {
+			rng := testRNG(27)
+			for range 5 {
+				a.Add(Random(rng, 256), 1)
+			}
+		},
+		"flushed": func(a *Accumulator) {
+			a.Add(Random(testRNG(28), 256), 2.5)
+		},
+		"mixed": func(a *Accumulator) {
+			rng := testRNG(29)
+			a.Add(Random(rng, 256), 2.5)
+			a.Add(Random(rng, 256), 1)
+		},
+		"empty": func(a *Accumulator) {},
+	} {
+		a := NewAccumulator(256)
+		b := NewAccumulator(256)
+		fill(a)
+		fill(b)
+		want := a.Majority()
+		got := New(256)
+		b.MajorityInto(&got)
+		if !got.Equal(want) {
+			t.Fatalf("%s: MajorityInto diverged from Majority", name)
+		}
+	}
+}
+
+// TestWideStagingMatchesFlushedCounts drives more unit adds than the old
+// 4-plane battery could stage, asserting the staged-only binarization and
+// the flushed path agree at every count up to past the staging cap.
+func TestWideStagingMatchesFlushedCounts(t *testing.T) {
+	rng := testRNG(28)
+	vs := make([]Vector, stageCap+3)
+	for i := range vs {
+		vs[i] = Random(rng, 128)
+	}
+	staged := NewAccumulator(128)
+	oracle := NewAccumulator(128)
+	for i, v := range vs {
+		staged.Add(v, 1)
+		// The oracle goes through the general fixed-point path, which
+		// flushes immediately; weight 1 quantizes identically.
+		oracle.Add(v, 1)
+		oracle.flush()
+		if got, want := staged.Majority(), oracle.Majority(); !got.Equal(want) {
+			t.Fatalf("after %d adds: staged majority diverged from flushed", i+1)
+		}
+	}
+}

@@ -87,6 +87,12 @@ func (v Vector) Clone() Vector {
 	return w
 }
 
+// CopyInto copies v's bits into dst, which must have the same dimension.
+func (v Vector) CopyInto(dst *Vector) {
+	mustSameDim(v, *dst)
+	copy(dst.words, v.words)
+}
+
 // Equal reports whether v and u have identical dimension and bits.
 func (v Vector) Equal(u Vector) bool {
 	if v.dim != u.dim {
@@ -139,9 +145,10 @@ func (v Vector) Permute(k int) Vector {
 // as v and must not alias v's storage.
 //
 // The rotation runs word-at-a-time: a whole-word rotation is two copies of
-// contiguous regions, and a sub-word bit shift walks the source words once,
-// carrying the spilled high bits of the previous word into the next — no
-// per-word index arithmetic beyond a wrapping increment.
+// contiguous regions, and a sub-word bit shift walks the source exactly
+// once as two contiguous segments (before and after the wrap point), so
+// the inner loops carry the spilled high bits of the previous word into
+// the next with no per-word modulus or wrap branch.
 func (v Vector) PermuteInto(k int, dst *Vector) {
 	mustSameDim(v, *dst)
 	n := len(v.words)
@@ -154,20 +161,20 @@ func (v Vector) PermuteInto(k int, dst *Vector) {
 		return
 	}
 	// dst[i] = v[j]<<bitShift | v[j-1]>>(64-bitShift) with j = (i - wordShift)
-	// mod n. Walk j forward with a wrapping increment, reusing the previous
-	// source word as the cross-word carry.
-	j := n - wordShift
-	if j == n {
-		j = 0
+	// mod n. Only the wrap output j == 0 needs modular indexing; the two
+	// remaining runs read adjacent source pairs directly, so iterations
+	// carry no dependency and pipeline freely.
+	inv := WordBits - bitShift
+	dst.words[wordShift] = v.words[0]<<bitShift | v.words[n-1]>>inv
+	src := v.words
+	out := dst.words[wordShift+1:]
+	for i := range out {
+		out[i] = src[i+1]<<bitShift | src[i]>>inv
 	}
-	hi := v.words[(j+n-1)%n]
-	for i := 0; i < n; i++ {
-		lo := v.words[j]
-		dst.words[i] = lo<<bitShift | hi>>(WordBits-bitShift)
-		hi = lo
-		if j++; j == n {
-			j = 0
-		}
+	src = v.words[n-wordShift-1:]
+	out = dst.words[:wordShift]
+	for i := range out {
+		out[i] = src[i+1]<<bitShift | src[i]>>inv
 	}
 }
 

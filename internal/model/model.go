@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/parallel"
@@ -92,10 +93,16 @@ type Sample struct {
 type domainModel struct {
 	id         int
 	classAcc   []*hdc.Accumulator
-	classCount []int64      // training samples (or pseudo-labels) seen per class
-	classProt  []hdc.Vector // binarized prototypes, rebuilt after updates
-	domAcc     *hdc.Accumulator
-	domProt    hdc.Vector
+	classCount []int64 // training samples (or pseudo-labels) seen per class
+
+	// protMat packs the binarized class prototypes row-major into one
+	// contiguous allocation, rebuilt in place by rebuildPrototypes, so
+	// scores streams a single cache-friendly popcount pass over all
+	// classes instead of chasing per-class heap slices.
+	protMat   *hdc.Matrix
+	classProt []hdc.Vector // row views into protMat, shared storage
+	domAcc    *hdc.Accumulator
+	domProt   hdc.Vector
 }
 
 func newDomainModel(id int, cfg Config) *domainModel {
@@ -111,25 +118,37 @@ func newDomainModel(id int, cfg Config) *domainModel {
 	return dm
 }
 
-func (dm *domainModel) rebinarize() {
-	dm.classProt = make([]hdc.Vector, len(dm.classAcc))
-	for c, acc := range dm.classAcc {
-		dm.classProt[c] = acc.Majority()
+// rebuildPrototypes binarizes the accumulators straight into the packed
+// prototype matrix (allocating it on first use), overwriting the previous
+// prototypes in place.
+func (dm *domainModel) rebuildPrototypes() {
+	if dm.protMat == nil {
+		dim := dm.domAcc.Dim()
+		dm.protMat = hdc.NewMatrix(len(dm.classAcc), dim)
+		dm.classProt = make([]hdc.Vector, len(dm.classAcc))
+		for c := range dm.classProt {
+			dm.classProt[c] = dm.protMat.Row(c)
+		}
+		dm.domProt = hdc.New(dim)
 	}
-	dm.domProt = dm.domAcc.Majority()
+	for c, acc := range dm.classAcc {
+		row := dm.protMat.Row(c)
+		acc.MajorityInto(&row)
+	}
+	dm.domAcc.MajorityInto(&dm.domProt)
 }
 
-// scores fills dst with the cosine similarity of hv to each class prototype.
-// A class this domain has never seen has an empty accumulator whose Majority
-// is pure tie-break noise; scoring it at full strength would let noise win
-// argmax, so never-trained classes are excluded with a -Inf score.
+// scores fills dst with the cosine similarity of hv to each class prototype
+// in one contiguous kernel pass. A class this domain has never seen has an
+// empty accumulator whose Majority is pure tie-break noise; scoring it at
+// full strength would let noise win argmax, so never-trained classes are
+// excluded with a -Inf score.
 func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
-	for c, p := range dm.classProt {
-		if dm.classCount[c] == 0 {
+	dm.protMat.CosineInto(hv, dst)
+	for c, n := range dm.classCount {
+		if n == 0 {
 			dst[c] = math.Inf(-1)
-			continue
 		}
-		dst[c] = hv.Cosine(p)
 	}
 }
 
@@ -139,7 +158,48 @@ func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
 type Ensemble struct {
 	cfg     Config
 	domains []*domainModel
+	domMat  *hdc.Matrix  // packed source domain prototypes for domainWeights
 	adapted *domainModel // set by Adapt; nil until then
+
+	// scratch pools per-call score buffers so Predict and ScoreInto
+	// allocate nothing in steady state, even from many goroutines at once.
+	scratch sync.Pool
+}
+
+// scoreScratch is the per-call float buffer set one scoring pass needs.
+type scoreScratch struct {
+	scores, total, wsum, weights []float64
+}
+
+func (m *Ensemble) getScratch() *scoreScratch {
+	sc, _ := m.scratch.Get().(*scoreScratch)
+	if sc == nil {
+		sc = &scoreScratch{}
+	}
+	sc.scores = resize(sc.scores, m.cfg.Classes)
+	sc.total = resize(sc.total, m.cfg.Classes)
+	sc.wsum = resize(sc.wsum, m.cfg.Classes)
+	sc.weights = resize(sc.weights, len(m.domains))
+	return sc
+}
+
+// resize reuses s's backing array when it is large enough (the steady
+// state) and reallocates only when the model shape grew.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// rebuildDomainMatrix packs the source domain prototypes row-major so
+// domainWeights scores them in one kernel pass. Called whenever the set of
+// source domains (re)forms: after Train and after ReadFrom.
+func (m *Ensemble) rebuildDomainMatrix() {
+	m.domMat = hdc.NewMatrix(len(m.domains), m.cfg.Dim)
+	for i, dm := range m.domains {
+		m.domMat.SetRow(i, dm.domProt)
+	}
 }
 
 // New returns an untrained ensemble.
@@ -177,10 +237,11 @@ func (m *Ensemble) Train(samples []Sample) error {
 	}
 	m.domains = make([]*domainModel, 0, len(byDomain))
 	for _, dm := range byDomain {
-		dm.rebinarize()
+		dm.rebuildPrototypes()
 		m.domains = append(m.domains, dm)
 	}
 	sort.Slice(m.domains, func(i, j int) bool { return m.domains[i].id < m.domains[j].id })
+	m.rebuildDomainMatrix()
 
 	scores := make([]float64, m.cfg.Classes)
 	for range m.cfg.RetrainEpochs {
@@ -199,7 +260,7 @@ func (m *Ensemble) Train(samples []Sample) error {
 				}
 			}
 			if changed {
-				dm.rebinarize()
+				dm.rebuildPrototypes()
 			}
 		}
 	}
@@ -216,78 +277,120 @@ func simWeight(cos float64) float64 {
 	return (1 + cos) / 2
 }
 
-// domainWeights returns similarity-proportional weights of hv against
-// every source domain prototype, normalized to sum to 1. Cosine is mapped
-// through (1+cos)/2 so weights stay non-negative and a domain nearly as
-// similar as the best one keeps a proportional share of the vote (rather
-// than a min-shift that would zero it out entirely).
-func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
-	w := make([]float64, len(m.domains))
+// domainWeightsInto fills w (len(m.domains) slots) with
+// similarity-proportional weights of hv against every source domain
+// prototype, normalized to sum to 1, scoring the packed domain matrix in
+// one kernel pass. Cosine is mapped through (1+cos)/2 so weights stay
+// non-negative and a domain nearly as similar as the best one keeps a
+// proportional share of the vote (rather than a min-shift that would zero
+// it out entirely).
+func (m *Ensemble) domainWeightsInto(hv hdc.Vector, w []float64) {
+	m.domMat.CosineInto(hv, w)
 	sum := 0.0
-	for i, dm := range m.domains {
-		w[i] = simWeight(hv.Cosine(dm.domProt))
+	for i, cos := range w {
+		w[i] = simWeight(cos)
 		sum += w[i]
 	}
 	if sum == 0 {
 		for i := range w {
 			w[i] = 1 / float64(len(w))
 		}
-		return w
+		return
 	}
 	for i := range w {
 		w[i] /= sum
 	}
+}
+
+// domainWeights is the allocating convenience form of domainWeightsInto,
+// used off the hot path (adaptation setup).
+func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
+	w := make([]float64, len(m.domains))
+	m.domainWeightsInto(hv, w)
 	return w
 }
 
-// ensembleScores returns per-class scores of hv under the
-// similarity-weighted source ensemble. Each class's score is the weighted
-// mean over the domains that have actually seen the class, so a domain
-// missing a class abstains on it instead of voting noise; a class no domain
-// has seen scores -Inf and can never win.
-func (m *Ensemble) ensembleScores(hv hdc.Vector) []float64 {
+// ensembleScoresInto writes per-class scores of hv under the
+// similarity-weighted source ensemble into dst, using sc for intermediate
+// buffers. Each class's score is the weighted mean over the domains that
+// have actually seen the class, so a domain missing a class abstains on it
+// instead of voting noise; a class no domain has seen scores -Inf and can
+// never win.
+func (m *Ensemble) ensembleScoresInto(hv hdc.Vector, dst []float64, sc *scoreScratch) {
 	if len(m.domains) == 0 {
 		panic("model: Predict before Train")
 	}
-	total := make([]float64, m.cfg.Classes)
-	wsum := make([]float64, m.cfg.Classes)
-	scores := make([]float64, m.cfg.Classes)
-	weights := m.domainWeights(hv)
+	wsum, scores, weights := sc.wsum, sc.scores, sc.weights
+	for c := range dst {
+		dst[c] = 0
+		wsum[c] = 0
+	}
+	m.domainWeightsInto(hv, weights)
 	for i, dm := range m.domains {
 		dm.scores(hv, scores)
 		for c, s := range scores {
 			if dm.classCount[c] == 0 {
 				continue
 			}
-			total[c] += weights[i] * s
+			dst[c] += weights[i] * s
 			wsum[c] += weights[i]
 		}
 	}
-	for c := range total {
+	for c := range dst {
 		if wsum[c] == 0 {
-			total[c] = math.Inf(-1)
+			dst[c] = math.Inf(-1)
 			continue
 		}
-		total[c] /= wsum[c]
+		dst[c] /= wsum[c]
 	}
-	return total
+}
+
+// ScoreInto writes the active model's per-class scores for hv into dst,
+// which must hold exactly cfg.Classes slots: the adapted target model's
+// prototype similarities once adaptation has run, otherwise the
+// similarity-weighted source-ensemble scores. Classes the active model has
+// never seen score -Inf. The pass allocates nothing in steady state, so
+// batch callers can reuse one dst across queries.
+func (m *Ensemble) ScoreInto(hv hdc.Vector, dst []float64) error {
+	if len(m.domains) == 0 {
+		return fmt.Errorf("%w: ScoreInto before Train", ErrNotTrained)
+	}
+	if hv.Dim() != m.cfg.Dim {
+		return fmt.Errorf("%w: query has dimension %d, model wants %d", ErrInvalidTargets, hv.Dim(), m.cfg.Dim)
+	}
+	if len(dst) != m.cfg.Classes {
+		return fmt.Errorf("%w: dst holds %d scores, want %d", ErrInvalidTargets, len(dst), m.cfg.Classes)
+	}
+	if m.adapted != nil {
+		m.adapted.scores(hv, dst)
+		return nil
+	}
+	sc := m.getScratch()
+	m.ensembleScoresInto(hv, dst, sc)
+	m.scratch.Put(sc)
+	return nil
 }
 
 // Predict classifies hv. After Adapt has run, the adapted target model is
 // used; otherwise the similarity-weighted source ensemble decides.
 func (m *Ensemble) Predict(hv hdc.Vector) int {
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
 	if m.adapted != nil {
-		scores := make([]float64, m.cfg.Classes)
-		m.adapted.scores(hv, scores)
-		return argmax(scores)
+		m.adapted.scores(hv, sc.scores)
+		return argmax(sc.scores)
 	}
-	return argmax(m.ensembleScores(hv))
+	m.ensembleScoresInto(hv, sc.total, sc)
+	return argmax(sc.total)
 }
 
 // PredictSource classifies hv with the source ensemble only, ignoring any
 // adapted model. This is the no-adapt baseline.
 func (m *Ensemble) PredictSource(hv hdc.Vector) int {
-	return argmax(m.ensembleScores(hv))
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	m.ensembleScoresInto(hv, sc.total, sc)
+	return argmax(sc.total)
 }
 
 // PredictBatch classifies every query concurrently on a pool of the given
@@ -380,7 +483,7 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 				tgt.classCount[c] += dm.classCount[c]
 			}
 		}
-		tgt.rebinarize()
+		tgt.rebuildPrototypes()
 	} else {
 		// Fold the new batch into the target domain prototype so later
 		// domain-similarity decisions see the full target distribution.
@@ -457,7 +560,7 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		if !updated {
 			break
 		}
-		tgt.rebinarize()
+		tgt.rebuildPrototypes()
 	}
 	m.adapted = tgt
 	return stats, nil
@@ -465,8 +568,9 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 
 // AdaptedPrototypes returns the binarized class prototypes of the adapted
 // target model, or nil if Adapt has not run. The slice is freshly
-// allocated; the vectors share storage with the model and must be treated
-// as read-only.
+// allocated; the vectors are views into the model's packed prototype
+// matrix, so they must be treated as read-only and are overwritten in
+// place by further adaptation — Clone them to keep a stable snapshot.
 func (m *Ensemble) AdaptedPrototypes() []hdc.Vector {
 	if m.adapted == nil {
 		return nil

@@ -428,7 +428,10 @@ func TestTrainMissingClassExcluded(t *testing.T) {
 	// and it must never win, even on its own cluster's queries.
 	for range 20 {
 		q := flip(rng, protos[3], testDim/4)
-		scores := m.ensembleScores(q)
+		scores := make([]float64, 4)
+		if err := m.ScoreInto(q, scores); err != nil {
+			t.Fatal(err)
+		}
 		if !math.IsInf(scores[3], -1) {
 			t.Fatalf("never-trained class scored %v, want -Inf", scores[3])
 		}

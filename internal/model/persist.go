@@ -241,7 +241,7 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 			return nil, err
 		}
 		dm.domAcc = acc
-		dm.rebinarize()
+		dm.rebuildPrototypes()
 		return dm, nil
 	}
 
@@ -265,6 +265,7 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 	m.cfg = cfg
 	m.domains = domains
 	m.adapted = adapted
+	m.rebuildDomainMatrix()
 	return cr.n, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package model
+
+// raceEnabled gates allocation pins: under the race detector sync.Pool
+// deliberately drops items to expose races, so zero-alloc steady states do
+// not hold there.
+const raceEnabled = true

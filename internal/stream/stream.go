@@ -103,6 +103,11 @@ type Adapter struct {
 	started  bool
 	stats    Stats
 
+	// batchBuf is the coalescing buffer the worker reuses across
+	// micro-batches, so steady-state folding does not allocate a fresh
+	// batch slice per AdaptIncremental call. Only the worker touches it.
+	batchBuf [][][]float64
+
 	done chan struct{} // closed when the worker exits
 }
 
@@ -214,53 +219,67 @@ func (a *Adapter) Close(ctx context.Context) error {
 // lock held, fold them, repeat; exit once closed and empty.
 func (a *Adapter) run() {
 	defer close(a.done)
-	for {
-		a.mu.Lock()
+	for a.runOnce(true) {
+	}
+}
+
+// runOnce processes one micro-batch: take up to MaxBatch windows off the
+// queue (blocking for work or shutdown when wait is true), encode them with
+// no lock held, fold them, and account the outcome. It reports whether the
+// worker should keep going — false means the queue is empty and, when
+// waiting, that shutdown has begun.
+func (a *Adapter) runOnce(wait bool) bool {
+	a.mu.Lock()
+	if wait {
 		for len(a.queue) == 0 && !a.closed {
 			a.wake.Wait()
 		}
-		if len(a.queue) == 0 {
-			a.mu.Unlock()
-			return // closed and drained
-		}
-		n := min(len(a.queue), a.cfg.MaxBatch)
-		batch := make([][][]float64, n)
-		copy(batch, a.queue[:n])
-		// Shift rather than re-slice so the backing array's consumed prefix
-		// does not pin window data for the queue's lifetime.
-		rest := copy(a.queue, a.queue[n:])
-		for i := rest; i < len(a.queue); i++ {
-			a.queue[i] = nil
-		}
-		a.queue = a.queue[:rest]
-		a.inFlight = n
-		a.mu.Unlock()
-
-		var stats model.AdaptStats
-		hvs, encErr := a.encode(batch)
-		var foldErr error
-		if encErr == nil {
-			stats, foldErr = a.fold(hvs)
-		}
-
-		a.mu.Lock()
-		switch {
-		case encErr != nil:
-			a.stats.EncodeErrors++
-			a.stats.WindowsLost += int64(n)
-			a.stats.LastError = encErr.Error()
-		case foldErr != nil:
-			a.stats.FoldErrors++
-			a.stats.WindowsLost += int64(n)
-			a.stats.LastError = foldErr.Error()
-		default:
-			a.stats.BatchesFolded++
-			a.stats.WindowsFolded += int64(n)
-			a.stats.Adapt.Epochs += stats.Epochs
-			a.stats.Adapt.PseudoLabels += stats.PseudoLabels
-			a.stats.Adapt.Skipped += stats.Skipped
-		}
-		a.inFlight = 0
-		a.mu.Unlock()
 	}
+	if len(a.queue) == 0 {
+		a.mu.Unlock()
+		return false // drained (and, when waiting, closed)
+	}
+	n := min(len(a.queue), a.cfg.MaxBatch)
+	batch := append(a.batchBuf[:0], a.queue[:n]...)
+	a.batchBuf = batch
+	// Shift rather than re-slice so the backing array's consumed prefix
+	// does not pin window data for the queue's lifetime.
+	rest := copy(a.queue, a.queue[n:])
+	for i := rest; i < len(a.queue); i++ {
+		a.queue[i] = nil
+	}
+	a.queue = a.queue[:rest]
+	a.inFlight = n
+	a.mu.Unlock()
+
+	var stats model.AdaptStats
+	hvs, encErr := a.encode(batch)
+	var foldErr error
+	if encErr == nil {
+		stats, foldErr = a.fold(hvs)
+	}
+	// Drop the window references so the reused buffer cannot pin client
+	// data between micro-batches.
+	clear(batch)
+
+	a.mu.Lock()
+	switch {
+	case encErr != nil:
+		a.stats.EncodeErrors++
+		a.stats.WindowsLost += int64(n)
+		a.stats.LastError = encErr.Error()
+	case foldErr != nil:
+		a.stats.FoldErrors++
+		a.stats.WindowsLost += int64(n)
+		a.stats.LastError = foldErr.Error()
+	default:
+		a.stats.BatchesFolded++
+		a.stats.WindowsFolded += int64(n)
+		a.stats.Adapt.Epochs += stats.Epochs
+		a.stats.Adapt.PseudoLabels += stats.PseudoLabels
+		a.stats.Adapt.Skipped += stats.Skipped
+	}
+	a.inFlight = 0
+	a.mu.Unlock()
+	return true
 }
