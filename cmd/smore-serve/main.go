@@ -5,13 +5,18 @@
 //
 //	smore-serve -load model.smore -addr :8080
 //
-//	POST /v1/predict       {"windows": [[[...]]]} → {"predictions": [...]}
-//	POST /v1/adapt         {"windows": [[[...]]]} → {"stats": {...}}
-//	POST /v1/stream/adapt  enqueue windows for background adaptation → 202 (429 when full)
-//	GET  /v1/stream/stats  streaming queue depth, folds, cumulative adapt stats
-//	GET  /v1/model         canonical bundle bytes (byte-identical to the file)
-//	GET  /healthz          liveness + model summary
-//	GET  /metrics          per-endpoint and per-stage latency counters
+//	POST   /v1/predict                    {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST   /v1/adapt                      {"windows": [[[...]]]} → {"stats": {...}}
+//	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
+//	GET    /v1/stream/stats               streaming queue depth, folds, cumulative adapt stats
+//	GET    /v1/model                      canonical bundle bytes (byte-identical to the file)
+//	GET    /v1/models                     registry listing
+//	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap; LRU-evicts past -max-models)
+//	GET    /v1/models/{name}              canonical named bundle bytes
+//	DELETE /v1/models/{name}              remove a named model (the default is pinned)
+//	POST   /v1/models/{name}/predict      per-model predict (also .../adapt, .../stream/adapt, .../stream/stats)
+//	GET    /healthz                       liveness + model summary
+//	GET    /metrics                       per-endpoint, per-stage, and per-model counters
 //
 // On SIGINT/SIGTERM the server stops listening, waits for in-flight
 // requests, then drains the streaming queue into the model before exiting.
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,7 +56,9 @@ func pprofListenAddr(addr string) string {
 
 // startPprof serves net/http/pprof on its own mux and listener, separate
 // from the public API surface, so the debug endpoints never ride along on
-// the serving address.
+// the serving address. The listen happens synchronously so a bad or in-use
+// -pprof-addr fails the process at startup instead of logging success and
+// dying silently in a goroutine.
 func startPprof(addr string) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -59,7 +67,6 @@ func startPprof(addr string) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{
-		Addr:    addr,
 		Handler: mux,
 		// Slow-client bounds, mirroring the main listener. Write stays
 		// generous because /debug/pprof/profile and /trace stream for
@@ -69,9 +76,13 @@ func startPprof(addr string) {
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("smore-serve: pprof listener: %v", err)
+	}
+	log.Printf("smore-serve: pprof on http://%s/debug/pprof/", ln.Addr())
 	go func() {
-		log.Printf("smore-serve: pprof on http://%s/debug/pprof/", addr)
-		if err := srv.ListenAndServe(); err != nil {
+		if err := srv.Serve(ln); err != nil {
 			log.Printf("smore-serve: pprof listener: %v", err)
 		}
 	}()
@@ -86,6 +97,7 @@ func main() {
 		maxBody      = flag.Int64("max-body", 32<<20, "maximum request body bytes")
 		streamQueue  = flag.Int("stream-queue", 4096, "streaming adaptation queue capacity in windows (full queue → 429)")
 		streamBatch  = flag.Int("stream-batch", 256, "maximum windows folded per background adaptation batch")
+		maxModels    = flag.Int("max-models", 8, "maximum named models held by the registry (uploads past the cap LRU-evict)")
 		readTimeout  = flag.Duration("read-timeout", time.Minute, "maximum duration for reading an entire request")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "maximum duration for writing a response")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests, then again for the stream queue")
@@ -105,13 +117,14 @@ func main() {
 	srv, err := serve.New(b, serve.Options{
 		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
 		StreamQueue: *streamQueue, StreamBatch: *streamBatch,
+		MaxModels: *maxModels, Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("smore-serve: %v", err)
 	}
 	mcfg := b.Model.Config()
-	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v stream-queue=%d stream-batch=%d)",
-		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), *streamQueue, *streamBatch)
+	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v stream-queue=%d stream-batch=%d max-models=%d)",
+		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), *streamQueue, *streamBatch, *maxModels)
 	if *pprofAddr != "" {
 		startPprof(pprofListenAddr(*pprofAddr))
 	}

@@ -40,6 +40,15 @@ func (m *Matrix) Row(r int) Vector {
 	return Vector{dim: m.dim, words: m.words[r*n : (r+1)*n : (r+1)*n]}
 }
 
+// Clone returns a deep copy sharing no storage with m, so an immutable
+// published view (a model snapshot) can be taken of a matrix that is
+// otherwise rebuilt in place.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{dim: m.dim, rows: m.rows, words: make([]uint64, len(m.words))}
+	copy(out.words, m.words)
+	return out
+}
+
 // SetRow copies v into row r. v must match the matrix dimension.
 func (m *Matrix) SetRow(r int, v Vector) {
 	if v.dim != m.dim {

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/parallel"
@@ -139,57 +140,75 @@ func (dm *domainModel) rebuildPrototypes() {
 }
 
 // scores fills dst with the cosine similarity of hv to each class prototype
-// in one contiguous kernel pass. A class this domain has never seen has an
-// empty accumulator whose Majority is pure tie-break noise; scoring it at
-// full strength would let noise win argmax, so never-trained classes are
-// excluded with a -Inf score.
+// in one contiguous kernel pass (see protoScores for the never-trained-class
+// -Inf exclusion).
 func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
-	dm.protMat.CosineInto(hv, dst)
-	for c, n := range dm.classCount {
-		if n == 0 {
-			dst[c] = math.Inf(-1)
-		}
-	}
+	protoScores(dm.protMat, dm.classCount, hv, dst)
 }
 
 // Ensemble is the multi-domain associative memory: one model per source
 // domain, combined at inference time by similarity-weighted voting, plus an
 // optional adapted target model.
+//
+// Concurrency: the ensemble is a copy-on-write shadow behind an immutable
+// published Snapshot. Mutators — Train, Adapt*, ReadFrom, WriteTo,
+// ResetAdaptation — serialize on an internal mutex, fold into the shadow
+// state, and publish a fresh Snapshot with one atomic pointer swap. Every
+// read path (Predict*, ScoreInto, Adapted, AdaptedPrototypes, Accuracy)
+// goes through the current snapshot and is completely lock-free, so
+// predictions never stall behind an adaptation fold and always see either
+// the state before a fold or after it, never a half-rebuilt prototype.
 type Ensemble struct {
+	mu      sync.Mutex // serializes mutators; read paths never take it
 	cfg     Config
 	domains []*domainModel
 	domMat  *hdc.Matrix  // packed source domain prototypes for domainWeights
 	adapted *domainModel // set by Adapt; nil until then
 
-	// scratch pools per-call score buffers so Predict and ScoreInto
-	// allocate nothing in steady state, even from many goroutines at once.
-	scratch sync.Pool
+	snap atomic.Pointer[Snapshot] // current published read-only view
+	pool scratchPool              // zero-alloc scoring scratch, shared across snapshots
 }
 
-// scoreScratch is the per-call float buffer set one scoring pass needs.
-type scoreScratch struct {
-	scores, total, wsum, weights []float64
-}
-
-func (m *Ensemble) getScratch() *scoreScratch {
-	sc, _ := m.scratch.Get().(*scoreScratch)
-	if sc == nil {
-		sc = &scoreScratch{}
+// publish deep-copies the current prototype state into a fresh immutable
+// Snapshot and swaps it in as the served view. Callers must hold m.mu and
+// have rebuilt the prototypes first.
+func (m *Ensemble) publish() {
+	s := &Snapshot{
+		cfg:     m.cfg,
+		domains: make([]snapDomain, len(m.domains)),
+		domMat:  m.domMat.Clone(),
+		pool:    &m.pool,
 	}
-	sc.scores = resize(sc.scores, m.cfg.Classes)
-	sc.total = resize(sc.total, m.cfg.Classes)
-	sc.wsum = resize(sc.wsum, m.cfg.Classes)
-	sc.weights = resize(sc.weights, len(m.domains))
-	return sc
+	for i, dm := range m.domains {
+		s.domains[i] = snapDomain{
+			protMat:    dm.protMat.Clone(),
+			classCount: append([]int64(nil), dm.classCount...),
+		}
+	}
+	if m.adapted != nil {
+		ad := snapDomain{
+			protMat:    m.adapted.protMat.Clone(),
+			classCount: append([]int64(nil), m.adapted.classCount...),
+		}
+		s.adapted = &ad
+	}
+	m.snap.Store(s)
 }
 
-// resize reuses s's backing array when it is large enough (the steady
-// state) and reallocates only when the model shape grew.
-func resize(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
+// Snapshot returns the currently published immutable view, or nil before
+// Train (or a successful ReadFrom) has run. The snapshot's scoring methods
+// are lock-free and safe for any number of concurrent callers; hold it to
+// score a whole batch against one consistent model state.
+func (m *Ensemble) Snapshot() *Snapshot { return m.snap.Load() }
+
+// mustSnapshot is the read-path entry: panics like the historical scoring
+// paths did when the ensemble has never been trained.
+func (m *Ensemble) mustSnapshot() *Snapshot {
+	s := m.snap.Load()
+	if s == nil {
+		panic("model: Predict before Train")
 	}
-	return s[:n]
+	return s
 }
 
 // rebuildDomainMatrix packs the source domain prototypes row-major so
@@ -221,6 +240,8 @@ func (m *Ensemble) Train(samples []Sample) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("model: no training samples")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	byDomain := map[int]*domainModel{}
 	for _, s := range samples {
 		if s.Class < 0 || s.Class >= m.cfg.Classes {
@@ -264,6 +285,7 @@ func (m *Ensemble) Train(samples []Sample) error {
 			}
 		}
 	}
+	m.publish()
 	return nil
 }
 
@@ -277,140 +299,51 @@ func simWeight(cos float64) float64 {
 	return (1 + cos) / 2
 }
 
-// domainWeightsInto fills w (len(m.domains) slots) with
-// similarity-proportional weights of hv against every source domain
-// prototype, normalized to sum to 1, scoring the packed domain matrix in
-// one kernel pass. Cosine is mapped through (1+cos)/2 so weights stay
-// non-negative and a domain nearly as similar as the best one keeps a
-// proportional share of the vote (rather than a min-shift that would zero
-// it out entirely).
-func (m *Ensemble) domainWeightsInto(hv hdc.Vector, w []float64) {
-	m.domMat.CosineInto(hv, w)
-	sum := 0.0
-	for i, cos := range w {
-		w[i] = simWeight(cos)
-		sum += w[i]
-	}
-	if sum == 0 {
-		for i := range w {
-			w[i] = 1 / float64(len(w))
-		}
-		return
-	}
-	for i := range w {
-		w[i] /= sum
-	}
-}
-
-// domainWeights is the allocating convenience form of domainWeightsInto,
-// used off the hot path (adaptation setup).
+// domainWeights returns similarity-proportional weights of hv against every
+// source domain prototype (see weightsInto). Allocating, used off the hot
+// path (adaptation setup). Callers must hold m.mu.
 func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
 	w := make([]float64, len(m.domains))
-	m.domainWeightsInto(hv, w)
+	weightsInto(m.domMat, hv, w)
 	return w
 }
 
-// ensembleScoresInto writes per-class scores of hv under the
-// similarity-weighted source ensemble into dst, using sc for intermediate
-// buffers. Each class's score is the weighted mean over the domains that
-// have actually seen the class, so a domain missing a class abstains on it
-// instead of voting noise; a class no domain has seen scores -Inf and can
-// never win.
-func (m *Ensemble) ensembleScoresInto(hv hdc.Vector, dst []float64, sc *scoreScratch) {
-	if len(m.domains) == 0 {
-		panic("model: Predict before Train")
-	}
-	wsum, scores, weights := sc.wsum, sc.scores, sc.weights
-	for c := range dst {
-		dst[c] = 0
-		wsum[c] = 0
-	}
-	m.domainWeightsInto(hv, weights)
-	for i, dm := range m.domains {
-		dm.scores(hv, scores)
-		for c, s := range scores {
-			if dm.classCount[c] == 0 {
-				continue
-			}
-			dst[c] += weights[i] * s
-			wsum[c] += weights[i]
-		}
-	}
-	for c := range dst {
-		if wsum[c] == 0 {
-			dst[c] = math.Inf(-1)
-			continue
-		}
-		dst[c] /= wsum[c]
-	}
-}
-
-// ScoreInto writes the active model's per-class scores for hv into dst,
-// which must hold exactly cfg.Classes slots: the adapted target model's
-// prototype similarities once adaptation has run, otherwise the
-// similarity-weighted source-ensemble scores. Classes the active model has
-// never seen score -Inf. The pass allocates nothing in steady state, so
-// batch callers can reuse one dst across queries.
+// ScoreInto writes the active model's per-class scores for hv into dst
+// through the current snapshot (see Snapshot.ScoreInto). It is lock-free
+// and allocation-free in steady state.
 func (m *Ensemble) ScoreInto(hv hdc.Vector, dst []float64) error {
-	if len(m.domains) == 0 {
+	s := m.snap.Load()
+	if s == nil {
 		return fmt.Errorf("%w: ScoreInto before Train", ErrNotTrained)
 	}
-	if hv.Dim() != m.cfg.Dim {
-		return fmt.Errorf("%w: query has dimension %d, model wants %d", ErrInvalidTargets, hv.Dim(), m.cfg.Dim)
-	}
-	if len(dst) != m.cfg.Classes {
-		return fmt.Errorf("%w: dst holds %d scores, want %d", ErrInvalidTargets, len(dst), m.cfg.Classes)
-	}
-	if m.adapted != nil {
-		m.adapted.scores(hv, dst)
-		return nil
-	}
-	sc := m.getScratch()
-	m.ensembleScoresInto(hv, dst, sc)
-	m.scratch.Put(sc)
-	return nil
+	return s.ScoreInto(hv, dst)
 }
 
-// Predict classifies hv. After Adapt has run, the adapted target model is
-// used; otherwise the similarity-weighted source ensemble decides.
+// Predict classifies hv through the current snapshot. After Adapt has run,
+// the adapted target model is used; otherwise the similarity-weighted
+// source ensemble decides. Lock-free: a concurrent adaptation fold never
+// stalls it, and it sees either the pre-fold or post-fold model.
 func (m *Ensemble) Predict(hv hdc.Vector) int {
-	sc := m.getScratch()
-	defer m.scratch.Put(sc)
-	if m.adapted != nil {
-		m.adapted.scores(hv, sc.scores)
-		return argmax(sc.scores)
-	}
-	m.ensembleScoresInto(hv, sc.total, sc)
-	return argmax(sc.total)
+	return m.mustSnapshot().Predict(hv)
 }
 
 // PredictSource classifies hv with the source ensemble only, ignoring any
 // adapted model. This is the no-adapt baseline.
 func (m *Ensemble) PredictSource(hv hdc.Vector) int {
-	sc := m.getScratch()
-	defer m.scratch.Put(sc)
-	m.ensembleScoresInto(hv, sc.total, sc)
-	return argmax(sc.total)
+	return m.mustSnapshot().PredictSource(hv)
 }
 
 // PredictBatch classifies every query concurrently on a pool of the given
-// worker count (workers <= 0 means GOMAXPROCS). Prediction only reads the
-// trained prototypes, so the output is identical for every worker count.
+// worker count (workers <= 0 means GOMAXPROCS). The whole batch is scored
+// against one snapshot, so the output is identical for every worker count
+// and mutually consistent under concurrent adaptation.
 func (m *Ensemble) PredictBatch(hvs []hdc.Vector, workers int) []int {
-	out := make([]int, len(hvs))
-	parallel.NewPool(workers).ForEach(len(hvs), func(i int) {
-		out[i] = m.Predict(hvs[i])
-	})
-	return out
+	return m.mustSnapshot().PredictBatch(hvs, workers)
 }
 
 // PredictSourceBatch is PredictBatch against the source ensemble only.
 func (m *Ensemble) PredictSourceBatch(hvs []hdc.Vector, workers int) []int {
-	out := make([]int, len(hvs))
-	parallel.NewPool(workers).ForEach(len(hvs), func(i int) {
-		out[i] = m.PredictSource(hvs[i])
-	})
-	return out
+	return m.mustSnapshot().PredictSourceBatch(hvs, workers)
 }
 
 // AdaptStats reports what the adaptation loop did.
@@ -454,6 +387,8 @@ func (m *Ensemble) AdaptIncremental(targets []hdc.Vector, workers int) (AdaptSta
 }
 
 func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (AdaptStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.domains) == 0 {
 		return AdaptStats{}, fmt.Errorf("%w: Adapt before Train", ErrNotTrained)
 	}
@@ -563,28 +498,38 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		tgt.rebuildPrototypes()
 	}
 	m.adapted = tgt
+	m.publish()
 	return stats, nil
 }
 
 // AdaptedPrototypes returns the binarized class prototypes of the adapted
-// target model, or nil if Adapt has not run. The slice is freshly
-// allocated; the vectors are views into the model's packed prototype
-// matrix, so they must be treated as read-only and are overwritten in
-// place by further adaptation — Clone them to keep a stable snapshot.
+// target model from the current snapshot, or nil if Adapt has not run. The
+// vectors are views into the snapshot's immutable packed matrix, so they
+// stay stable no matter how much further adaptation runs.
 func (m *Ensemble) AdaptedPrototypes() []hdc.Vector {
-	if m.adapted == nil {
+	s := m.snap.Load()
+	if s == nil {
 		return nil
 	}
-	out := make([]hdc.Vector, len(m.adapted.classProt))
-	copy(out, m.adapted.classProt)
-	return out
+	return s.AdaptedPrototypes()
 }
 
 // Adapted reports whether Adapt has produced a target model.
-func (m *Ensemble) Adapted() bool { return m.adapted != nil }
+func (m *Ensemble) Adapted() bool {
+	s := m.snap.Load()
+	return s != nil && s.Adapted()
+}
 
-// ResetAdaptation discards the adapted target model.
-func (m *Ensemble) ResetAdaptation() { m.adapted = nil }
+// ResetAdaptation discards the adapted target model and republishes the
+// source-only snapshot (when the ensemble has been trained).
+func (m *Ensemble) ResetAdaptation() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adapted = nil
+	if len(m.domains) > 0 {
+		m.publish()
+	}
+}
 
 // Accuracy scores hvs against labels with Predict.
 func (m *Ensemble) Accuracy(hvs []hdc.Vector, labels []int) float64 {

@@ -49,6 +49,11 @@ const (
 // saving again yields byte-identical output, and the loaded ensemble
 // predicts and continues adapting exactly like the original.
 func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
+	// Serialization flushes staged accumulator state, so it is a mutator
+	// even though the accumulated values don't change: take the mutator
+	// lock. Predictions keep flowing off the published snapshot meanwhile.
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.domains) == 0 {
 		return 0, fmt.Errorf("model: cannot serialize an untrained ensemble")
 	}
@@ -262,10 +267,13 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 		adapted = dm
 	}
 
+	m.mu.Lock()
 	m.cfg = cfg
 	m.domains = domains
 	m.adapted = adapted
 	m.rebuildDomainMatrix()
+	m.publish()
+	m.mu.Unlock()
 	return cr.n, nil
 }
 

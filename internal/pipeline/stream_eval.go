@@ -73,7 +73,14 @@ func (a *Artifacts) StreamEvaluate(batchSize int) (*StreamResult, error) {
 	}
 	st := ad.Stats()
 	if st.EncodeErrors > 0 || st.FoldErrors > 0 {
-		return nil, fmt.Errorf("pipeline: stream replay failed: %s", st.LastError)
+		msg := st.LastError
+		if msg == "" {
+			// A clean fold after the failure cleared the sticky last-error;
+			// fall back to the cumulative books.
+			msg = fmt.Sprintf("%d encode / %d fold errors (%d windows lost)",
+				st.EncodeErrors, st.FoldErrors, st.WindowsLost)
+		}
+		return nil, fmt.Errorf("pipeline: stream replay failed: %s", msg)
 	}
 	res.Batches = int(st.BatchesFolded)
 	res.Adapt = st.Adapt

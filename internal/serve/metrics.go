@@ -6,16 +6,21 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
-
-	"go-arxiv/smore/internal/stream"
 )
 
-// metrics holds the server's request and per-stage latency counters. All
-// counters are atomics so the hot handlers never contend on a lock, and the
-// /metrics rendering is a consistent-enough snapshot for monitoring.
+// metrics holds the server's request, per-stage latency, and registry
+// counters. All counters are atomics so the hot handlers never contend on a
+// lock, and the /metrics rendering is a consistent-enough snapshot for
+// monitoring.
 type metrics struct {
 	endpoints map[string]*endpointMetrics
 	stages    map[string]*stageMetrics
+
+	// Registry lifecycle counters.
+	uploads   atomic.Int64
+	swaps     atomic.Int64
+	evictions atomic.Int64
+	deletes   atomic.Int64
 }
 
 // endpointMetrics counts one HTTP endpoint's requests, errors, and total
@@ -38,7 +43,8 @@ func newMetrics() *metrics {
 		endpoints: map[string]*endpointMetrics{},
 		stages:    map[string]*stageMetrics{},
 	}
-	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "model", "healthz", "metrics"} {
+	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "model",
+		"models", "model_upload", "model_delete", "healthz", "metrics"} {
 		m.endpoints[e] = &endpointMetrics{}
 	}
 	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold"} {
@@ -68,9 +74,10 @@ func (m *metrics) stage(name string) func() {
 	}
 }
 
-// render writes the counters in Prometheus text exposition format, keys
-// sorted so the output is stable.
-func (m *metrics) render(w io.Writer, adapted bool, dim, classes int, ss stream.Stats) {
+// render writes the counters in Prometheus text exposition format: the
+// global endpoint/stage/registry counters, then one labeled series per
+// registered model (infos arrives name-sorted), so the output is stable.
+func (m *metrics) render(w io.Writer, infos []modelInfo) {
 	fmt.Fprintf(w, "# HELP smore_requests_total Requests received per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE smore_requests_total counter\n")
 	for _, e := range sortedKeys(m.endpoints) {
@@ -98,46 +105,90 @@ func (m *metrics) render(w io.Writer, adapted bool, dim, classes int, ss stream.
 		fmt.Fprintf(w, "smore_stage_latency_seconds_total{stage=%q} %.9f\n",
 			s, float64(m.stages[s].nanos.Load())/1e9)
 	}
+
+	fmt.Fprintf(w, "# HELP smore_models Models currently registered.\n")
+	fmt.Fprintf(w, "# TYPE smore_models gauge\n")
+	fmt.Fprintf(w, "smore_models %d\n", len(infos))
+	fmt.Fprintf(w, "# HELP smore_model_uploads_total Bundles installed through the registry (creates plus swaps).\n")
+	fmt.Fprintf(w, "# TYPE smore_model_uploads_total counter\n")
+	fmt.Fprintf(w, "smore_model_uploads_total %d\n", m.uploads.Load())
+	fmt.Fprintf(w, "# HELP smore_model_swaps_total Uploads that hot-swapped an existing model.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_swaps_total counter\n")
+	fmt.Fprintf(w, "smore_model_swaps_total %d\n", m.swaps.Load())
+	fmt.Fprintf(w, "# HELP smore_model_evictions_total Models displaced by LRU eviction.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_evictions_total counter\n")
+	fmt.Fprintf(w, "smore_model_evictions_total %d\n", m.evictions.Load())
+	fmt.Fprintf(w, "# HELP smore_model_deletes_total Models removed by DELETE.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_deletes_total counter\n")
+	fmt.Fprintf(w, "smore_model_deletes_total %d\n", m.deletes.Load())
+
 	fmt.Fprintf(w, "# HELP smore_model_adapted Whether the served ensemble has an adapted target model.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_adapted gauge\n")
-	fmt.Fprintf(w, "smore_model_adapted %d\n", b2i(adapted))
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_model_adapted{model=%q} %d\n", mi.Name, b2i(mi.Adapted))
+	}
 	fmt.Fprintf(w, "# HELP smore_model_dim Hypervector dimension of the served model.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_dim gauge\n")
-	fmt.Fprintf(w, "smore_model_dim %d\n", dim)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_model_dim{model=%q} %d\n", mi.Name, mi.Dim)
+	}
 	fmt.Fprintf(w, "# HELP smore_model_classes Class count of the served model.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_classes gauge\n")
-	fmt.Fprintf(w, "smore_model_classes %d\n", classes)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_model_classes{model=%q} %d\n", mi.Name, mi.Classes)
+	}
+
 	fmt.Fprintf(w, "# HELP smore_stream_queue_depth Windows waiting in the streaming adaptation queue.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_queue_depth gauge\n")
-	fmt.Fprintf(w, "smore_stream_queue_depth %d\n", ss.QueueDepth)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_queue_depth{model=%q} %d\n", mi.Name, mi.Stream.QueueDepth)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_queue_capacity Configured streaming queue capacity.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_queue_capacity gauge\n")
-	fmt.Fprintf(w, "smore_stream_queue_capacity %d\n", ss.Capacity)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_queue_capacity{model=%q} %d\n", mi.Name, mi.Stream.Capacity)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_in_flight Windows taken by the adapter but not yet folded.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_in_flight gauge\n")
-	fmt.Fprintf(w, "smore_stream_in_flight %d\n", ss.InFlight)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_in_flight{model=%q} %d\n", mi.Name, mi.Stream.InFlight)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_windows_enqueued_total Windows accepted onto the streaming queue.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_windows_enqueued_total counter\n")
-	fmt.Fprintf(w, "smore_stream_windows_enqueued_total %d\n", ss.Enqueued)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_windows_enqueued_total{model=%q} %d\n", mi.Name, mi.Stream.Enqueued)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_windows_dropped_total Windows rejected with queue-full backpressure.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_windows_dropped_total counter\n")
-	fmt.Fprintf(w, "smore_stream_windows_dropped_total %d\n", ss.Dropped)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_windows_dropped_total{model=%q} %d\n", mi.Name, mi.Stream.Dropped)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_batches_folded_total Micro-batches folded into the model.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_batches_folded_total counter\n")
-	fmt.Fprintf(w, "smore_stream_batches_folded_total %d\n", ss.BatchesFolded)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_batches_folded_total{model=%q} %d\n", mi.Name, mi.Stream.BatchesFolded)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_windows_folded_total Windows folded into the model.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_windows_folded_total counter\n")
-	fmt.Fprintf(w, "smore_stream_windows_folded_total %d\n", ss.WindowsFolded)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_windows_folded_total{model=%q} %d\n", mi.Name, mi.Stream.WindowsFolded)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_errors_total Streaming batches dropped by a failed stage.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_errors_total counter\n")
-	fmt.Fprintf(w, "smore_stream_errors_total{stage=\"encode\"} %d\n", ss.EncodeErrors)
-	fmt.Fprintf(w, "smore_stream_errors_total{stage=\"fold\"} %d\n", ss.FoldErrors)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_errors_total{model=%q,stage=\"encode\"} %d\n", mi.Name, mi.Stream.EncodeErrors)
+		fmt.Fprintf(w, "smore_stream_errors_total{model=%q,stage=\"fold\"} %d\n", mi.Name, mi.Stream.FoldErrors)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_windows_lost_total Accepted windows discarded by a failed encode or fold.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_windows_lost_total counter\n")
-	fmt.Fprintf(w, "smore_stream_windows_lost_total %d\n", ss.WindowsLost)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_windows_lost_total{model=%q} %d\n", mi.Name, mi.Stream.WindowsLost)
+	}
 	fmt.Fprintf(w, "# HELP smore_stream_pseudo_labels_total Pseudo-labels applied by streamed folds.\n")
 	fmt.Fprintf(w, "# TYPE smore_stream_pseudo_labels_total counter\n")
-	fmt.Fprintf(w, "smore_stream_pseudo_labels_total %d\n", ss.Adapt.PseudoLabels)
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_pseudo_labels_total{model=%q} %d\n", mi.Name, mi.Stream.Adapt.PseudoLabels)
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

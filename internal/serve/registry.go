@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/hdc"
+	"go-arxiv/smore/internal/model"
+	"go-arxiv/smore/internal/pipeline"
+	"go-arxiv/smore/internal/stream"
+)
+
+// DefaultModel is the registry name of the bundle the server booted with.
+// It backs the unnamed routes (/v1/predict, /v1/model, ...), is pinned
+// against LRU eviction, and cannot be deleted — only hot-swapped.
+const DefaultModel = "default"
+
+// registryDrainTimeout bounds how long a replaced or evicted instance's
+// streaming adapter may spend folding its remaining queue before it is
+// abandoned. Eviction must not hang the upload that triggered it.
+const registryDrainTimeout = 5 * time.Second
+
+// modelName validates registry names: one leading alphanumeric, then up to
+// 63 of [A-Za-z0-9._-], so names are safe in URLs, metric labels, and logs.
+var modelName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// instance is one served bundle: its own encoder (bundles may differ in
+// dimension and sensor count), ensemble, and streaming adaptation worker.
+// Predictions go through the ensemble's lock-free snapshot; mu serializes
+// the mutating surface (adapt folds, stream folds, export) per instance so
+// a fold and an export cannot interleave mid-flush.
+type instance struct {
+	name   string
+	enc    *encode.Encoder
+	encfg  encode.Config
+	model  *model.Ensemble
+	stream *stream.Adapter
+
+	mu       sync.Mutex
+	lastUsed int64 // registry LRU tick; guarded by the registry mutex
+}
+
+// close drains the instance's streaming queue into its model (bounded by
+// registryDrainTimeout when ctx has no earlier deadline) and stops the
+// worker.
+func (inst *instance) close(ctx context.Context) error {
+	return inst.stream.Close(ctx)
+}
+
+// modelInfo is one registry entry's identity and state, for /v1/models and
+// the labeled /metrics series.
+type modelInfo struct {
+	Name    string       `json:"name"`
+	Adapted bool         `json:"adapted"`
+	Dim     int          `json:"dim"`
+	Classes int          `json:"classes"`
+	Sensors int          `json:"sensors"`
+	Stream  stream.Stats `json:"stream"`
+}
+
+// registry holds the named instances. All map and LRU-clock access is under
+// mu; instance creation and adapter shutdown happen outside it so a slow
+// drain never blocks lookups.
+type registry struct {
+	opt  Options
+	met  *metrics
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	models map[string]*instance
+	clock  int64
+}
+
+func newRegistry(opt Options, met *metrics, logf func(string, ...any)) *registry {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &registry{opt: opt, met: met, logf: logf, models: map[string]*instance{}}
+}
+
+// newInstance builds a served instance around a loaded bundle: the encoder
+// is reconstructed deterministically from the bundle's encoder config, and
+// the streaming adaptation worker is started.
+func (g *registry) newInstance(name string, b *pipeline.Bundle) (*instance, error) {
+	if b.Model == nil {
+		return nil, fmt.Errorf("serve: bundle has no model")
+	}
+	if b.Model.Snapshot() == nil {
+		return nil, fmt.Errorf("serve: bundle model is untrained")
+	}
+	enc, err := encode.New(b.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding encoder: %w", err)
+	}
+	inst := &instance{
+		name:  name,
+		enc:   enc,
+		encfg: b.Encoder,
+		model: b.Model,
+	}
+	inst.stream = stream.New(
+		stream.Config{QueueCap: g.opt.StreamQueue, MaxBatch: g.opt.StreamBatch},
+		func(windows [][][]float64) ([]hdc.Vector, error) {
+			defer g.met.stage("stream_encode")()
+			return inst.enc.EncodeBatch(windows, g.opt.Workers)
+		},
+		func(hvs []hdc.Vector) (model.AdaptStats, error) {
+			defer g.met.stage("fold")()
+			inst.mu.Lock()
+			defer inst.mu.Unlock()
+			return inst.model.AdaptIncremental(hvs, g.opt.Workers)
+		},
+	)
+	inst.stream.Start()
+	return inst, nil
+}
+
+// get returns the named instance, touching its LRU slot. A malformed name
+// is a 400, an unknown one a 404.
+func (g *registry) get(name string) (*instance, error) {
+	if !modelName.MatchString(name) {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	inst, ok := g.models[name]
+	if !ok {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("model %q not found", name)}
+	}
+	g.clock++
+	inst.lastUsed = g.clock
+	return inst, nil
+}
+
+// upsert installs a bundle under name: an existing entry is hot-swapped
+// atomically (in-flight requests finish against the old instance; new
+// lookups see the new one), a new entry may first LRU-evict the
+// least-recently-used non-default model to stay under MaxModels. The
+// replaced or evicted instances' stream queues are drained in the
+// background. Reports whether the name already existed and which model, if
+// any, was evicted.
+func (g *registry) upsert(name string, b *pipeline.Bundle) (swapped bool, evicted string, err error) {
+	if !modelName.MatchString(name) {
+		return false, "", &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+	}
+	inst, err := g.newInstance(name, b)
+	if err != nil {
+		return false, "", &httpError{http.StatusBadRequest, err.Error()}
+	}
+	var retired []*instance
+	g.mu.Lock()
+	old, swapped := g.models[name]
+	if swapped {
+		retired = append(retired, old)
+	} else if len(g.models) >= g.opt.MaxModels {
+		victim := g.lruVictimLocked()
+		if victim == nil {
+			g.mu.Unlock()
+			// The new instance never entered the registry; stop its worker.
+			retired = append(retired, inst)
+			g.retire(retired)
+			return false, "", &httpError{http.StatusConflict,
+				fmt.Sprintf("registry full (%d models) and nothing evictable", g.opt.MaxModels)}
+		}
+		evicted = victim.name
+		delete(g.models, victim.name)
+		retired = append(retired, victim)
+	}
+	g.models[name] = inst
+	g.clock++
+	inst.lastUsed = g.clock
+	g.mu.Unlock()
+	g.retire(retired)
+	g.met.uploads.Add(1)
+	switch {
+	case swapped:
+		g.met.swaps.Add(1)
+		g.logf("serve: model %q hot-swapped (dim=%d classes=%d)", name, b.Encoder.Dim, b.Model.Config().Classes)
+	case evicted != "":
+		g.met.evictions.Add(1)
+		g.logf("serve: model %q evicted (LRU) for %q", evicted, name)
+		fallthrough
+	default:
+		g.logf("serve: model %q installed (dim=%d classes=%d)", name, b.Encoder.Dim, b.Model.Config().Classes)
+	}
+	return swapped, evicted, nil
+}
+
+// lruVictimLocked picks the least-recently-used evictable instance; the
+// default model is pinned. Callers hold g.mu.
+func (g *registry) lruVictimLocked() *instance {
+	var victim *instance
+	for name, inst := range g.models {
+		if name == DefaultModel {
+			continue
+		}
+		if victim == nil || inst.lastUsed < victim.lastUsed {
+			victim = inst
+		}
+	}
+	return victim
+}
+
+// remove deletes a named model. The default model is pinned (409); its
+// stream queue is drained in the background like an eviction.
+func (g *registry) remove(name string) error {
+	if !modelName.MatchString(name) {
+		return &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+	}
+	if name == DefaultModel {
+		return &httpError{http.StatusConflict, "the default model cannot be deleted (upload to hot-swap it)"}
+	}
+	g.mu.Lock()
+	inst, ok := g.models[name]
+	if ok {
+		delete(g.models, name)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return &httpError{http.StatusNotFound, fmt.Sprintf("model %q not found", name)}
+	}
+	g.retire([]*instance{inst})
+	g.met.deletes.Add(1)
+	g.logf("serve: model %q deleted", name)
+	return nil
+}
+
+// retire drains and stops instances that just left the registry (replaced,
+// evicted, or deleted), outside the registry lock and bounded by
+// registryDrainTimeout so a stuffed queue cannot stall the triggering
+// request indefinitely.
+func (g *registry) retire(insts []*instance) {
+	for _, inst := range insts {
+		ctx, cancel := context.WithTimeout(context.Background(), registryDrainTimeout)
+		if err := inst.close(ctx); err != nil {
+			g.logf("serve: draining retired model %q: %v", inst.name, err)
+		}
+		cancel()
+	}
+}
+
+// infos snapshots every entry's identity and stream counters, sorted by
+// name for stable rendering.
+func (g *registry) infos() []modelInfo {
+	g.mu.Lock()
+	insts := make([]*instance, 0, len(g.models))
+	for _, inst := range g.models {
+		insts = append(insts, inst)
+	}
+	g.mu.Unlock()
+	out := make([]modelInfo, 0, len(insts))
+	for _, inst := range insts {
+		snap := inst.model.Snapshot()
+		cfg := snap.Config()
+		out = append(out, modelInfo{
+			Name:    inst.name,
+			Adapted: snap.Adapted(),
+			Dim:     cfg.Dim,
+			Classes: cfg.Classes,
+			Sensors: inst.encfg.Sensors,
+			Stream:  inst.stream.Stats(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// closeAll shuts every instance's streaming worker down, draining queues
+// into their models within ctx. The default model drains first so shutdown
+// reports its error (the one the process exit code depends on).
+func (g *registry) closeAll(ctx context.Context) error {
+	g.mu.Lock()
+	insts := make([]*instance, 0, len(g.models))
+	if def, ok := g.models[DefaultModel]; ok {
+		insts = append(insts, def)
+	}
+	for name, inst := range g.models {
+		if name != DefaultModel {
+			insts = append(insts, inst)
+		}
+	}
+	g.mu.Unlock()
+	var first error
+	for _, inst := range insts {
+		if err := inst.close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,11 +1,15 @@
-// Package serve is the long-running HTTP surface around a trained SMORE
-// bundle: batched encode→predict, incremental adaptation on submitted
-// unlabeled batches, a streaming adaptation queue, model export, and
-// health/metrics endpoints. Prediction requests share the ensemble under a
-// read lock; adaptation folds and model export (which flushes accumulator
-// staging state) take the write lock, so the served model is always
-// internally consistent. The streaming path encodes on the worker pool with
-// no lock held and only takes the write lock for the short fold step.
+// Package serve is the long-running HTTP surface around trained SMORE
+// bundles: batched encode→predict, incremental adaptation on submitted
+// unlabeled batches, a streaming adaptation queue, model export, a named
+// multi-model registry with LRU eviction, and health/metrics endpoints.
+//
+// Prediction is completely lock-free: each ensemble publishes an immutable
+// snapshot after every fold, and a predict request scores its whole batch
+// against one atomically-loaded snapshot, so heavy prediction traffic never
+// stalls behind adaptation or export. Adaptation folds and model export
+// (which flushes accumulator staging state) serialize on a short per-model
+// mutex. The streaming path encodes on the worker pool with no lock held
+// and only takes that per-model mutex for the fold step.
 package serve
 
 import (
@@ -16,10 +20,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 	"time"
 
-	"go-arxiv/smore/internal/encode"
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
@@ -32,12 +34,22 @@ type Options struct {
 	MaxBatch int   // maximum windows per request; <= 0 means 1024
 	MaxBody  int64 // request body cap in bytes; <= 0 means 32 MiB
 
-	// StreamQueue caps how many windows the streaming adaptation queue may
-	// hold before POST /v1/stream/adapt returns 429; <= 0 means 4096.
+	// StreamQueue caps how many windows a model's streaming adaptation queue
+	// may hold before POST .../stream/adapt returns 429; <= 0 means 4096.
 	StreamQueue int
-	// StreamBatch caps how many queued windows the background adapter folds
+	// StreamBatch caps how many queued windows a background adapter folds
 	// per AdaptIncremental call; <= 0 means 256.
 	StreamBatch int
+
+	// MaxModels caps how many named bundles the registry holds at once;
+	// uploading past the cap LRU-evicts the least-recently-used non-default
+	// model. <= 0 means 8. The default model is pinned and does not count
+	// toward evictability (a cap of 1 leaves room for nothing else).
+	MaxModels int
+
+	// Logf, when set, receives registry lifecycle events (uploads, swaps,
+	// evictions, deletions). Nil means silent.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -53,87 +65,122 @@ func (o Options) withDefaults() Options {
 	if o.StreamBatch <= 0 {
 		o.StreamBatch = 256
 	}
+	if o.MaxModels <= 0 {
+		o.MaxModels = 8
+	}
 	return o
 }
 
-// Server serves one bundle. The encoder is immutable and shared freely; the
-// ensemble is guarded by mu (RLock for predictions, Lock for adaptation
-// folds and export).
+// Server serves a registry of named bundles. The bundle it booted with is
+// registered as DefaultModel and backs the unnamed routes.
 type Server struct {
-	opt    Options
-	enc    *encode.Encoder
-	met    *metrics
-	stream *stream.Adapter
-
-	mu    sync.RWMutex
-	model *model.Ensemble
-	encfg encode.Config
+	opt Options
+	met *metrics
+	reg *registry
+	def *instance
 }
 
-// New builds a server around a loaded bundle, reconstructing the encoder's
-// item memories deterministically from the bundle's encoder config, and
-// starts the streaming adaptation worker. Call Close to drain and stop it.
+// New builds a server around a loaded bundle, registering it as the default
+// model, and starts its streaming adaptation worker. Call Close to drain
+// and stop every registered model.
 func New(b *pipeline.Bundle, opt Options) (*Server, error) {
-	enc, err := encode.New(b.Encoder)
+	s := &Server{opt: opt.withDefaults(), met: newMetrics()}
+	s.reg = newRegistry(s.opt, s.met, s.opt.Logf)
+	def, err := s.reg.newInstance(DefaultModel, b)
 	if err != nil {
-		return nil, fmt.Errorf("serve: rebuilding encoder: %w", err)
+		return nil, err
 	}
-	if b.Model == nil {
-		return nil, fmt.Errorf("serve: bundle has no model")
-	}
-	s := &Server{
-		opt:   opt.withDefaults(),
-		enc:   enc,
-		met:   newMetrics(),
-		model: b.Model,
-		encfg: b.Encoder,
-	}
-	s.stream = stream.New(
-		stream.Config{QueueCap: s.opt.StreamQueue, MaxBatch: s.opt.StreamBatch},
-		func(windows [][][]float64) ([]hdc.Vector, error) {
-			defer s.met.stage("stream_encode")()
-			return s.enc.EncodeBatch(windows, s.opt.Workers)
-		},
-		func(hvs []hdc.Vector) (model.AdaptStats, error) {
-			defer s.met.stage("fold")()
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return s.model.AdaptIncremental(hvs, s.opt.Workers)
-		},
-	)
-	s.stream.Start()
+	s.def = def
+	s.reg.mu.Lock()
+	s.reg.models[DefaultModel] = def
+	s.reg.mu.Unlock()
 	return s, nil
 }
 
-// Close stops accepting streamed windows, drains everything already queued
-// into the model, and stops the background adapter. It is the graceful-
-// shutdown half of New; ctx bounds how long the drain may take.
+// Close stops accepting streamed windows on every registered model, drains
+// everything already queued into the models, and stops the background
+// adapters. It is the graceful-shutdown half of New; ctx bounds the drain.
 func (s *Server) Close(ctx context.Context) error {
-	return s.stream.Close(ctx)
+	return s.reg.closeAll(ctx)
 }
 
-// StreamStats snapshots the streaming adaptation queue's counters.
-func (s *Server) StreamStats() stream.Stats { return s.stream.Stats() }
+// StreamStats snapshots the default model's streaming queue counters.
+func (s *Server) StreamStats() stream.Stats { return s.def.stream.Stats() }
 
 // Handler returns the HTTP routes:
 //
-//	POST /v1/predict       {"windows": [[[...]]]} → {"predictions": [...]}
-//	POST /v1/adapt         {"windows": [[[...]]]} → {"stats": {...}}
-//	POST /v1/stream/adapt  enqueue windows for background adaptation → 202 (429 when full)
-//	GET  /v1/stream/stats  streaming queue depth, folds, cumulative adapt stats
-//	GET  /v1/model         canonical bundle bytes (save/export)
-//	GET  /healthz          liveness + model summary
-//	GET  /metrics          Prometheus text exposition
+//	POST   /v1/predict                    {"windows": [[[...]]]} → {"predictions": [...]}
+//	POST   /v1/adapt                      {"windows": [[[...]]]} → {"stats": {...}}
+//	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
+//	GET    /v1/stream/stats               streaming queue depth, folds, cumulative adapt stats
+//	GET    /v1/model                      canonical default bundle bytes (save/export)
+//	GET    /v1/models                     registry listing
+//	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap)
+//	GET    /v1/models/{name}              canonical named bundle bytes
+//	DELETE /v1/models/{name}              remove a named model (default is pinned)
+//	POST   /v1/models/{name}/predict      per-model predict
+//	POST   /v1/models/{name}/adapt        per-model incremental adaptation
+//	POST   /v1/models/{name}/stream/adapt per-model streaming enqueue
+//	GET    /v1/models/{name}/stream/stats per-model streaming counters
+//	GET    /healthz                       liveness + default model summary
+//	GET    /metrics                       Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
-	mux.HandleFunc("POST /v1/stream/adapt", s.handleStreamAdapt)
-	mux.HandleFunc("GET /v1/stream/stats", s.handleStreamStats)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/predict", s.onDefault("predict", s.predict))
+	mux.HandleFunc("POST /v1/adapt", s.onDefault("adapt", s.adapt))
+	mux.HandleFunc("POST /v1/stream/adapt", s.onDefault("stream_adapt", s.streamAdapt))
+	mux.HandleFunc("GET /v1/stream/stats", s.onDefault("stream_stats", s.streamStats))
+	mux.HandleFunc("GET /v1/model", s.onDefault("model", s.export))
+	mux.HandleFunc("GET /v1/models", s.plain("models", s.listModels))
+	mux.HandleFunc("POST /v1/models/{name}", s.plain("model_upload", s.uploadModel))
+	mux.HandleFunc("GET /v1/models/{name}", s.onNamed("model", s.export))
+	mux.HandleFunc("DELETE /v1/models/{name}", s.plain("model_delete", s.deleteModel))
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.onNamed("predict", s.predict))
+	mux.HandleFunc("POST /v1/models/{name}/adapt", s.onNamed("adapt", s.adapt))
+	mux.HandleFunc("POST /v1/models/{name}/stream/adapt", s.onNamed("stream_adapt", s.streamAdapt))
+	mux.HandleFunc("GET /v1/models/{name}/stream/stats", s.onNamed("stream_stats", s.streamStats))
+	mux.HandleFunc("GET /healthz", s.plain("healthz", s.healthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// instanceHandler is one route's logic against a resolved model instance.
+type instanceHandler func(inst *instance, w *responseRecorder, r *http.Request) error
+
+// onDefault wires an instance handler to the pinned default model.
+func (s *Server) onDefault(endpoint string, h instanceHandler) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w := &responseRecorder{ResponseWriter: rw}
+		s.finish(w, endpoint, start, h(s.def, w, r))
+	}
+}
+
+// onNamed resolves {name} through the registry (touching its LRU slot)
+// before running the handler. Requests share the same endpoint counters as
+// their default-route twins.
+func (s *Server) onNamed(endpoint string, h instanceHandler) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w := &responseRecorder{ResponseWriter: rw}
+		err := func() error {
+			inst, err := s.reg.get(r.PathValue("name"))
+			if err != nil {
+				return err
+			}
+			return h(inst, w, r)
+		}()
+		s.finish(w, endpoint, start, err)
+	}
+}
+
+// plain wires a handler that needs no instance resolution.
+func (s *Server) plain(endpoint string, h func(w *responseRecorder, r *http.Request) error) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w := &responseRecorder{ResponseWriter: rw}
+		s.finish(w, endpoint, start, h(w, r))
+	}
 }
 
 type predictRequest struct {
@@ -219,67 +266,59 @@ func (r *responseRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-func (s *Server) encodeWindows(ws [][][]float64) ([]hdc.Vector, error) {
+func (s *Server) encodeWindows(inst *instance, ws [][][]float64) ([]hdc.Vector, error) {
 	defer s.met.stage("encode")()
-	hvs, err := s.enc.EncodeBatch(ws, s.opt.Workers)
+	hvs, err := inst.enc.EncodeBatch(ws, s.opt.Workers)
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	return hvs, nil
 }
 
-func (s *Server) handlePredict(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	err := func() error {
-		var req predictRequest
-		if err := s.decodeWindows(w, r, &req); err != nil {
-			return err
-		}
-		hvs, err := s.encodeWindows(req.Windows)
-		if err != nil {
-			return err
-		}
-		done := s.met.stage("infer")
-		s.mu.RLock()
-		var preds []int
-		if req.SourceOnly {
-			preds = s.model.PredictSourceBatch(hvs, s.opt.Workers)
-		} else {
-			preds = s.model.PredictBatch(hvs, s.opt.Workers)
-		}
-		adapted := s.model.Adapted()
-		s.mu.RUnlock()
-		done()
-		return writeJSON(w, http.StatusOK, predictResponse{Predictions: preds, Adapted: adapted})
-	}()
-	s.finish(w, "predict", start, err)
+// predict scores the request's windows against one atomically-loaded model
+// snapshot — no lock is acquired anywhere on this path, and the whole batch
+// sees one consistent model state even while folds land concurrently.
+func (s *Server) predict(inst *instance, w *responseRecorder, r *http.Request) error {
+	var req predictRequest
+	if err := s.decodeWindows(w, r, &req); err != nil {
+		return err
+	}
+	hvs, err := s.encodeWindows(inst, req.Windows)
+	if err != nil {
+		return err
+	}
+	done := s.met.stage("infer")
+	snap := inst.model.Snapshot()
+	var preds []int
+	if req.SourceOnly {
+		preds = snap.PredictSourceBatch(hvs, s.opt.Workers)
+	} else {
+		preds = snap.PredictBatch(hvs, s.opt.Workers)
+	}
+	adapted := snap.Adapted()
+	done()
+	return writeJSON(w, http.StatusOK, predictResponse{Predictions: preds, Adapted: adapted})
 }
 
-func (s *Server) handleAdapt(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	err := func() error {
-		var req predictRequest
-		if err := s.decodeWindows(w, r, &req); err != nil {
-			return err
-		}
-		hvs, err := s.encodeWindows(req.Windows)
-		if err != nil {
-			return err
-		}
-		done := s.met.stage("adapt")
-		s.mu.Lock()
-		stats, aerr := s.model.AdaptIncremental(hvs, s.opt.Workers)
-		adapted := s.model.Adapted()
-		s.mu.Unlock()
-		done()
-		if aerr != nil {
-			return adaptError(aerr)
-		}
-		return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted})
-	}()
-	s.finish(w, "adapt", start, err)
+func (s *Server) adapt(inst *instance, w *responseRecorder, r *http.Request) error {
+	var req predictRequest
+	if err := s.decodeWindows(w, r, &req); err != nil {
+		return err
+	}
+	hvs, err := s.encodeWindows(inst, req.Windows)
+	if err != nil {
+		return err
+	}
+	done := s.met.stage("adapt")
+	inst.mu.Lock()
+	stats, aerr := inst.model.AdaptIncremental(hvs, s.opt.Workers)
+	adapted := inst.model.Adapted()
+	inst.mu.Unlock()
+	done()
+	if aerr != nil {
+		return adaptError(aerr)
+	}
+	return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted})
 }
 
 // adaptError maps an adaptation failure to the right HTTP status: inputs
@@ -303,127 +342,184 @@ type streamAdaptResponse struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
-// validateWindows rejects windows the encoder would fail on — fewer
-// timesteps than the n-gram length, rows with the wrong sensor count —
-// before they reach the streaming queue. The background worker coalesces
+// validateWindows rejects windows the instance's encoder would fail on —
+// fewer timesteps than the n-gram length, rows with the wrong sensor count
+// — before they reach the streaming queue. The background worker coalesces
 // windows from many requests into one encode batch, and EncodeBatch fails
 // wholesale, so an unvalidated bad window would silently destroy other
 // clients' already-accepted data.
-func (s *Server) validateWindows(ws [][][]float64) error {
+func (inst *instance) validateWindows(ws [][][]float64) error {
 	for i, win := range ws {
-		if len(win) < s.encfg.NGram {
+		if len(win) < inst.encfg.NGram {
 			return &httpError{http.StatusBadRequest,
-				fmt.Sprintf("window %d has %d timesteps, need at least %d (the n-gram length)", i, len(win), s.encfg.NGram)}
+				fmt.Sprintf("window %d has %d timesteps, need at least %d (the n-gram length)", i, len(win), inst.encfg.NGram)}
 		}
 		for t, row := range win {
-			if len(row) != s.encfg.Sensors {
+			if len(row) != inst.encfg.Sensors {
 				return &httpError{http.StatusBadRequest,
-					fmt.Sprintf("window %d timestep %d has %d sensors, want %d", i, t, len(row), s.encfg.Sensors)}
+					fmt.Sprintf("window %d timestep %d has %d sensors, want %d", i, t, len(row), inst.encfg.Sensors)}
 			}
 		}
 	}
 	return nil
 }
 
-// handleStreamAdapt enqueues the request's windows on the streaming
+// streamAdapt enqueues the request's windows on the instance's streaming
 // adaptation queue and returns immediately: 202 with the queue depth on
 // success, 413 for a batch that could never fit, 429 when the queue is
 // currently too full to hold the whole batch (backpressure — nothing is
 // partially enqueued), 503 once shutdown has begun.
-func (s *Server) handleStreamAdapt(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	err := func() error {
-		var req predictRequest
-		if err := s.decodeWindows(w, r, &req); err != nil {
-			return err
-		}
-		if err := s.validateWindows(req.Windows); err != nil {
-			return err
-		}
-		// A batch larger than the whole queue can never succeed, so a 429
-		// ("retry later") would send a well-behaved client into an infinite
-		// retry loop; reject it terminally instead.
-		if len(req.Windows) > s.opt.StreamQueue {
-			return &httpError{http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("batch of %d windows exceeds stream queue capacity %d", len(req.Windows), s.opt.StreamQueue)}
-		}
-		depth, err := s.stream.Enqueue(req.Windows)
-		switch {
-		case errors.Is(err, stream.ErrQueueFull):
-			return &httpError{http.StatusTooManyRequests,
-				fmt.Sprintf("stream queue full (%d of %d windows queued); retry later", depth, s.opt.StreamQueue)}
-		case errors.Is(err, stream.ErrClosed):
-			return &httpError{http.StatusServiceUnavailable, "server is draining; stream ingest closed"}
-		case err != nil:
-			return &httpError{http.StatusBadRequest, err.Error()}
-		}
-		return writeJSON(w, http.StatusAccepted, streamAdaptResponse{Accepted: len(req.Windows), QueueDepth: depth})
-	}()
-	s.finish(w, "stream_adapt", start, err)
+func (s *Server) streamAdapt(inst *instance, w *responseRecorder, r *http.Request) error {
+	var req predictRequest
+	if err := s.decodeWindows(w, r, &req); err != nil {
+		return err
+	}
+	if err := inst.validateWindows(req.Windows); err != nil {
+		return err
+	}
+	// A batch larger than the whole queue can never succeed, so a 429
+	// ("retry later") would send a well-behaved client into an infinite
+	// retry loop; reject it terminally instead.
+	if len(req.Windows) > s.opt.StreamQueue {
+		return &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d windows exceeds stream queue capacity %d", len(req.Windows), s.opt.StreamQueue)}
+	}
+	depth, err := inst.stream.Enqueue(req.Windows)
+	switch {
+	case errors.Is(err, stream.ErrQueueFull):
+		return &httpError{http.StatusTooManyRequests,
+			fmt.Sprintf("stream queue full (%d of %d windows queued); retry later", depth, s.opt.StreamQueue)}
+	case errors.Is(err, stream.ErrClosed):
+		return &httpError{http.StatusServiceUnavailable, "server is draining; stream ingest closed"}
+	case err != nil:
+		return &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return writeJSON(w, http.StatusAccepted, streamAdaptResponse{Accepted: len(req.Windows), QueueDepth: depth})
 }
 
-// handleStreamStats reports the streaming queue's counters.
-func (s *Server) handleStreamStats(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	err := writeJSON(w, http.StatusOK, s.stream.Stats())
-	s.finish(w, "stream_stats", start, err)
+// streamStats reports the instance's streaming queue counters.
+func (s *Server) streamStats(inst *instance, w *responseRecorder, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, inst.stream.Stats())
 }
 
-func (s *Server) handleModel(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	err := func() error {
-		done := s.met.stage("export")
-		var buf bytes.Buffer
-		// Write lock: serializing flushes accumulator staging state.
-		s.mu.Lock()
-		b := pipeline.Bundle{Encoder: s.encfg, Model: s.model}
-		_, werr := b.WriteTo(&buf)
-		s.mu.Unlock()
-		done()
-		if werr != nil {
-			return werr
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
-		_, werr = w.Write(buf.Bytes())
+// export writes the instance's canonical bundle bytes. Serialization
+// flushes accumulator staging state, so it takes the per-model mutex;
+// predictions keep flowing off the published snapshot meanwhile.
+func (s *Server) export(inst *instance, w *responseRecorder, r *http.Request) error {
+	done := s.met.stage("export")
+	var buf bytes.Buffer
+	inst.mu.Lock()
+	b := pipeline.Bundle{Encoder: inst.encfg, Model: inst.model}
+	_, werr := b.WriteTo(&buf)
+	inst.mu.Unlock()
+	done()
+	if werr != nil {
 		return werr
-	}()
-	s.finish(w, "model", start, err)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	_, werr = w.Write(buf.Bytes())
+	return werr
 }
 
-func (s *Server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	w := &responseRecorder{ResponseWriter: rw}
-	s.mu.RLock()
-	adapted := s.model.Adapted()
-	cfg := s.model.Config()
-	s.mu.RUnlock()
-	err := writeJSON(w, http.StatusOK, map[string]any{
+// listModels reports every registry entry's identity, state, and streaming
+// counters.
+func (s *Server) listModels(w *responseRecorder, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.infos()})
+}
+
+// uploadModelResponse acknowledges an installed bundle.
+type uploadModelResponse struct {
+	Name    string `json:"name"`
+	Swapped bool   `json:"swapped"`           // an existing entry was hot-swapped
+	Evicted string `json:"evicted,omitempty"` // LRU victim displaced by this upload
+}
+
+// uploadModel installs the request body (canonical bundle bytes, as written
+// by /v1/model or smore -save) under {name}: 201 for a new entry, 200 for
+// an atomic hot swap of an existing one. In-flight requests against a
+// swapped model finish against the old instance; its stream queue is
+// drained into the discarded model in the background.
+func (s *Server) uploadModel(w *responseRecorder, r *http.Request) error {
+	name := r.PathValue("name")
+	b, err := func() (*pipeline.Bundle, error) {
+		defer s.met.stage("decode")()
+		body := http.MaxBytesReader(w, r.Body, s.opt.MaxBody)
+		b, err := pipeline.ReadBundle(body)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return nil, &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+			}
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		if n, _ := io.Copy(io.Discard, body); n != 0 {
+			return nil, &httpError{http.StatusBadRequest, "trailing bytes after bundle payload"}
+		}
+		return b, nil
+	}()
+	if err != nil {
+		return err
+	}
+	swapped, evicted, err := s.reg.upsert(name, b)
+	if err != nil {
+		return err
+	}
+	status := http.StatusCreated
+	if swapped {
+		status = http.StatusOK
+	}
+	return writeJSON(w, status, uploadModelResponse{Name: name, Swapped: swapped, Evicted: evicted})
+}
+
+// deleteModel removes a named model from the registry; the default model is
+// pinned and answers 409.
+func (s *Server) deleteModel(w *responseRecorder, r *http.Request) error {
+	if err := s.reg.remove(r.PathValue("name")); err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+}
+
+func (s *Server) healthz(w *responseRecorder, r *http.Request) error {
+	snap := s.def.model.Snapshot()
+	cfg := snap.Config()
+	return writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"adapted": adapted,
+		"adapted": snap.Adapted(),
 		"dim":     cfg.Dim,
 		"classes": cfg.Classes,
+		"models":  len(s.reg.infos()),
 	})
-	s.finish(w, "healthz", start, err)
+}
+
+// errWriter forwards writes and remembers the first failure, so a scrape
+// whose response write fails is counted as an error by finish.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	n, err := ew.w.Write(p)
+	if err != nil && ew.err == nil {
+		ew.err = err
+	}
+	return n, err
 }
 
 // handleMetrics renders the Prometheus exposition. It goes through the same
-// responseRecorder/finish accounting as every other endpoint, so scrapes
-// show up in the per-endpoint request counters (the scrape in progress is
-// counted by the *next* one: finish runs after render).
+// responseRecorder/finish accounting as every other endpoint — including
+// write failures, which finish counts as errors — so scrapes show up in the
+// per-endpoint request counters (the scrape in progress is counted by the
+// *next* one: finish runs after render).
 func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	w := &responseRecorder{ResponseWriter: rw}
-	s.mu.RLock()
-	adapted := s.model.Adapted()
-	cfg := s.model.Config()
-	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, adapted, cfg.Dim, cfg.Classes, s.stream.Stats())
-	s.finish(w, "metrics", start, nil)
+	ew := &errWriter{w: w}
+	s.met.render(ew, s.reg.infos())
+	s.finish(w, "metrics", start, ew.err)
 }
 
 // finish records metrics for a request and renders the error — unless a

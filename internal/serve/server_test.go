@@ -268,8 +268,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		`smore_request_errors_total{endpoint="predict"} 0`,
 		`smore_stage_ops_total{stage="encode"} 1`,
 		`smore_stage_ops_total{stage="infer"} 1`,
-		"smore_model_adapted 0",
-		"smore_model_dim 512",
+		`smore_model_adapted{model="default"} 0`,
+		`smore_model_dim{model="default"} 512`,
+		"smore_models 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)
@@ -444,11 +445,12 @@ func TestStreamAdaptBackpressure(t *testing.T) {
 		t.Fatalf("stats %+v: a 413 must not touch the queue counters", st)
 	}
 
-	// Genuine transient fullness: hold the model write lock so the worker
-	// blocks in its fold, let it take one window in-flight, fill the queue
-	// to capacity, and then a batch that would fit an empty queue gets 429.
-	srv.mu.Lock()
-	unlock := sync.OnceFunc(srv.mu.Unlock)
+	// Genuine transient fullness: hold the default instance's fold mutex so
+	// the worker blocks in its fold, let it take one window in-flight, fill
+	// the queue to capacity, and then a batch that would fit an empty queue
+	// gets 429.
+	srv.def.mu.Lock()
+	unlock := sync.OnceFunc(srv.def.mu.Unlock)
 	defer unlock()
 	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[:1]})
 	resp.Body.Close()
@@ -581,10 +583,10 @@ func TestMetricsAndHealthzAreCounted(t *testing.T) {
 	for _, want := range []string{
 		`smore_requests_total{endpoint="healthz"} 1`,
 		`smore_requests_total{endpoint="metrics"} 1`, // the first scrape; this one commits after render
-		"smore_stream_queue_depth 0",
-		"smore_stream_queue_capacity 4096",
-		"smore_stream_windows_enqueued_total 0",
-		`smore_stream_errors_total{stage="encode"} 0`,
+		`smore_stream_queue_depth{model="default"} 0`,
+		`smore_stream_queue_capacity{model="default"} 4096`,
+		`smore_stream_windows_enqueued_total{model="default"} 0`,
+		`smore_stream_errors_total{model="default",stage="encode"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)
@@ -598,7 +600,7 @@ func TestMetricsAndHealthzAreCounted(t *testing.T) {
 // half-folded model) and every prediction batch well-formed.
 func TestConcurrentStreamPredictExport(t *testing.T) {
 	srv, ts, _, windows := testServerOpts(t, Options{Workers: 2, MaxBatch: 64, StreamQueue: 256, StreamBatch: 8})
-	classes := srv.model.Config().Classes
+	classes := srv.def.model.Config().Classes
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
 	report := func(err error) {

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/model"
@@ -97,6 +96,7 @@ type Adapter struct {
 
 	mu       sync.Mutex
 	wake     *sync.Cond // signaled when work arrives or shutdown begins
+	idle     *sync.Cond // broadcast when a micro-batch finishes (Drain waiters)
 	queue    [][][]float64
 	inFlight int
 	closed   bool
@@ -120,6 +120,7 @@ func New(cfg Config, encode EncodeFunc, fold FoldFunc) *Adapter {
 		done:   make(chan struct{}),
 	}
 	a.wake = sync.NewCond(&a.mu)
+	a.idle = sync.NewCond(&a.mu)
 	return a
 }
 
@@ -177,21 +178,27 @@ func (a *Adapter) snapshotLocked() Stats {
 
 // Drain blocks until the queue is empty and no fold is in flight, or ctx
 // expires. It does not stop the worker or reject new traffic; use Close for
-// shutdown.
+// shutdown. The wait is a condition-variable sleep woken at the end of every
+// micro-batch, so Drain returns promptly after the final fold instead of
+// polling.
 func (a *Adapter) Drain(ctx context.Context) error {
-	for {
+	// A sync.Cond cannot select on ctx, so ctx cancellation is bridged into
+	// a broadcast that re-checks the loop condition.
+	stop := context.AfterFunc(ctx, func() {
 		a.mu.Lock()
-		drained := len(a.queue) == 0 && a.inFlight == 0
+		a.idle.Broadcast()
 		a.mu.Unlock()
-		if drained {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
+	})
+	defer stop()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.queue) != 0 || a.inFlight != 0 {
+		if ctx.Err() != nil {
 			return fmt.Errorf("stream: drain: %w", ctx.Err())
-		case <-time.After(2 * time.Millisecond):
 		}
+		a.idle.Wait()
 	}
+	return nil
 }
 
 // Close stops accepting new windows, lets the worker drain everything
@@ -278,8 +285,13 @@ func (a *Adapter) runOnce(wait bool) bool {
 		a.stats.Adapt.Epochs += stats.Epochs
 		a.stats.Adapt.PseudoLabels += stats.PseudoLabels
 		a.stats.Adapt.Skipped += stats.Skipped
+		// A transient failure must not be reported forever: the sticky
+		// last-error clears on the next clean fold (the cumulative error
+		// counters keep the history).
+		a.stats.LastError = ""
 	}
 	a.inFlight = 0
+	a.idle.Broadcast()
 	a.mu.Unlock()
 	return true
 }

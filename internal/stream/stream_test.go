@@ -224,8 +224,74 @@ func TestEncodeAndFoldErrorsAreCountedNotFatal(t *testing.T) {
 	if st.Enqueued != st.WindowsFolded+st.WindowsLost+int64(st.QueueDepth)+int64(st.InFlight) {
 		t.Fatalf("stats %+v: window accounting does not reconcile", st)
 	}
-	if st.LastError == "" {
-		t.Fatal("LastError not recorded")
+	if st.LastError != "" {
+		t.Fatalf("LastError %q still set: the trailing successful fold must clear it", st.LastError)
+	}
+}
+
+// TestLastErrorClearsOnSuccessfulFold pins the sticky-error fix: a failure
+// is reported while it is the latest outcome, then cleared by the next clean
+// fold while the cumulative error counters keep the history.
+func TestLastErrorClearsOnSuccessfulFold(t *testing.T) {
+	f := &recordingFold{err: fmt.Errorf("model: fold exploded"), faults: 1}
+	a := New(Config{QueueCap: 8, MaxBatch: 1}, passthroughEncode, f.fold)
+	if _, err := a.Enqueue([][][]float64{fakeWindow(1)}); err != nil { // fails
+		t.Fatal(err)
+	}
+	if !a.runOnce(false) {
+		t.Fatal("worker stopped with a queued window")
+	}
+	if st := a.Stats(); st.LastError == "" {
+		t.Fatal("LastError not recorded after the failed fold")
+	}
+	if _, err := a.Enqueue([][][]float64{fakeWindow(2)}); err != nil { // succeeds
+		t.Fatal(err)
+	}
+	a.runOnce(false)
+	st := a.Stats()
+	if st.LastError != "" {
+		t.Fatalf("LastError %q survived a successful fold", st.LastError)
+	}
+	if st.FoldErrors != 1 || st.WindowsLost != 1 || st.BatchesFolded != 1 {
+		t.Fatalf("stats %+v: clearing LastError must not touch the cumulative counters", st)
+	}
+}
+
+// TestDrainWakesPromptlyAfterFinalFold pins the condition-variable Drain: it
+// must return within a broadcast of the last fold completing, not after a
+// poll interval.
+func TestDrainWakesPromptlyAfterFinalFold(t *testing.T) {
+	f := &recordingFold{gate: make(chan struct{})}
+	a := New(Config{QueueCap: 8, MaxBatch: 8}, passthroughEncode, f.fold)
+	a.Start()
+	if _, err := a.Enqueue([][][]float64{fakeWindow(1), fakeWindow(2)}); err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- a.Drain(ctxShort(t)) }()
+	// Give Drain time to park on the condition variable, then release the
+	// gated fold and require the wake to land promptly.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) while the fold was still gated", err)
+	default:
+	}
+	close(f.gate)
+	woke := time.Now()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never woke after the final fold")
+	}
+	if elapsed := time.Since(woke); elapsed > time.Second {
+		t.Fatalf("drain woke %v after the final fold: want a prompt broadcast", elapsed)
+	}
+	if err := a.Close(ctxShort(t)); err != nil {
+		t.Fatal(err)
 	}
 }
 

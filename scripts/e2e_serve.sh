@@ -6,7 +6,10 @@
 # path: serve a source-only model, push the target split through
 # /v1/stream/adapt, poll /v1/stream/stats until drained, and verify the
 # adapted accuracy beats the source-only baseline, plus queue-full 429
-# backpressure and SIGTERM graceful shutdown. Used by `make e2e` and CI.
+# backpressure and SIGTERM graceful shutdown. Finally exercise the model
+# registry: upload a second named bundle, round-trip it byte-identically,
+# predict against it, hot-swap it, and push past -max-models to watch the
+# LRU eviction. Used by `make e2e` and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,7 +40,7 @@ go build -o "$tmp/smore-serve" ./cmd/smore-serve
 "$tmp/smore" -dim 512 -levels 8 -ngram 2 -sensors 2 -classes 3 -window 16 \
   -per-class 8 -seed 7 -save "$tmp/model.smore" >/dev/null
 
-"$tmp/smore-serve" -load "$tmp/model.smore" -addr "$ADDR" &
+"$tmp/smore-serve" -load "$tmp/model.smore" -addr "$ADDR" -max-models 2 &
 pids+=($!)
 wait_healthz "$ADDR" "${pids[-1]}"
 
@@ -126,7 +129,7 @@ done
 echo "$stats" | grep >/dev/null '"windows_folded_total":96' || fail "stream never drained: $stats"
 echo "$stats" | grep >/dev/null '"batches_folded_total":12' || fail "expected 12 micro-batches of 8: $stats"
 
-curl -fsS "http://$STREAM_ADDR/metrics" | grep >/dev/null 'smore_stream_windows_folded_total 96' \
+curl -fsS "http://$STREAM_ADDR/metrics" | grep >/dev/null 'smore_stream_windows_folded_total{model="default"} 96' \
   || fail "stream metrics did not count the folded windows"
 
 # The streamed-in adaptation must beat the source-only baseline.
@@ -153,6 +156,67 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: applicat
 [ "$code" = "413" ] || fail "never-fitting stream batch returned $code, want 413"
 curl -fsS "http://$TINY_ADDR/v1/stream/stats" | grep >/dev/null '"enqueued_total":0' \
   || fail "rejected batch must not be partially enqueued"
+
+# --- model registry ---------------------------------------------------------
+# The main server booted with -max-models 2 (the pinned default + one named
+# slot), so the registry's hot-swap and LRU-eviction paths are both reachable.
+curl -fsS "http://$ADDR/v1/models" | grep >/dev/null '"name":"default"' \
+  || fail "registry listing does not include the default model"
+
+# Upload the 3-sensor source bundle under a name; it must round-trip
+# byte-identically and serve predictions with its own encoder shape.
+code=$(curl -s -o "$tmp/alt_up.json" -w '%{http_code}' -X POST \
+  --data-binary "@$tmp/source.smore" "http://$ADDR/v1/models/alt")
+[ "$code" = "201" ] || fail "named upload returned $code, want 201"
+grep -q '"swapped":false' "$tmp/alt_up.json" || fail "fresh named upload reported a swap"
+
+curl -fsS "http://$ADDR/v1/models/alt" -o "$tmp/alt_served.smore"
+cmp "$tmp/source.smore" "$tmp/alt_served.smore" \
+  || fail "named export is not byte-identical to the uploaded bundle"
+
+body3='{"windows":[[[0.1,-0.2,0.3],[0.3,0.4,-0.1],[0.0,1.1,0.2],[0.5,-0.5,0.0]]]}'
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$body3" \
+  "http://$ADDR/v1/models/alt/predict" | grep >/dev/null '"predictions"' \
+  || fail "per-model predict round trip failed"
+# The 3-sensor windows must NOT be accepted by the 2-sensor default model.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "$body3" "http://$ADDR/v1/predict")
+[ "$code" = "400" ] || fail "default model accepted 3-sensor windows ($code), want 400"
+
+# Re-uploading under the same name is an atomic hot swap.
+code=$(curl -s -o "$tmp/alt_swap.json" -w '%{http_code}' -X POST \
+  --data-binary "@$tmp/model.smore" "http://$ADDR/v1/models/alt")
+[ "$code" = "200" ] || fail "hot-swap upload returned $code, want 200"
+grep -q '"swapped":true' "$tmp/alt_swap.json" || fail "hot-swap upload did not report a swap"
+curl -fsS "http://$ADDR/v1/models/alt" -o "$tmp/alt_swapped.smore"
+cmp "$tmp/model.smore" "$tmp/alt_swapped.smore" \
+  || fail "post-swap export does not match the swapped-in bundle"
+
+# A second named upload pushes past -max-models 2: the LRU named model is
+# evicted (the default is pinned) and its routes start answering 404.
+code=$(curl -s -o "$tmp/other_up.json" -w '%{http_code}' -X POST \
+  --data-binary "@$tmp/source.smore" "http://$ADDR/v1/models/other")
+[ "$code" = "201" ] || fail "over-cap upload returned $code, want 201"
+grep -q '"evicted":"alt"' "$tmp/other_up.json" || fail "over-cap upload did not evict the LRU model"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/models/alt")
+[ "$code" = "404" ] || fail "evicted model still answers $code, want 404"
+
+# The default model is pinned: DELETE answers 409; a named delete frees it.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/models/default")
+[ "$code" = "409" ] || fail "deleting the default model returned $code, want 409"
+
+curl -fsS "http://$ADDR/metrics" >"$tmp/metrics.txt"
+for want in 'smore_models 2' 'smore_model_uploads_total 3' \
+    'smore_model_evictions_total 1' 'smore_model_dim{model="default"} 512' \
+    'smore_model_dim{model="other"} 1024'; do
+  grep -qF "$want" "$tmp/metrics.txt" || fail "metrics missing '$want'"
+done
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/models/other")
+[ "$code" = "200" ] || fail "named delete returned $code, want 200"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/models/other")
+[ "$code" = "404" ] || fail "deleted model still answers $code, want 404"
+echo "e2e: registry upload/round-trip, hot swap, LRU eviction, delete OK"
 
 # SIGTERM must drain cleanly: both servers exit 0.
 kill -TERM "$stream_pid" "$tiny_pid"
