@@ -229,8 +229,18 @@ func New(cfg Config) (*Ensemble, error) {
 	return &Ensemble{cfg: cfg}, nil
 }
 
-// Config returns the ensemble's configuration.
-func (m *Ensemble) Config() Config { return m.cfg }
+// Config returns the ensemble's configuration. Like every other read path
+// it goes through the published snapshot, so it is safe concurrently with
+// mutators (ReadFrom replaces cfg); before the first Train/ReadFrom there
+// is no snapshot yet and it falls back to the mutator lock.
+func (m *Ensemble) Config() Config {
+	if s := m.snap.Load(); s != nil {
+		return s.cfg
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
 
 // Train builds per-domain class prototypes from labeled samples: a
 // single-shot bundling pass followed by cfg.RetrainEpochs perceptron-style

@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"go-arxiv/smore/internal/encode"
@@ -71,6 +72,12 @@ type registry struct {
 	opt  Options
 	met  *metrics
 	logf func(format string, args ...any)
+
+	// def always points at the instance currently registered under
+	// DefaultModel; upsert repoints it on a default hot swap. The unnamed
+	// routes resolve through this single atomic load instead of a map
+	// lookup under mu, keeping the default predict path lock-free.
+	def atomic.Pointer[instance]
 
 	mu     sync.Mutex
 	models map[string]*instance
@@ -163,8 +170,7 @@ func (g *registry) upsert(name string, b *pipeline.Bundle) (swapped bool, evicte
 		if victim == nil {
 			g.mu.Unlock()
 			// The new instance never entered the registry; stop its worker.
-			retired = append(retired, inst)
-			g.retire(retired)
+			go g.retire([]*instance{inst})
 			return false, "", &httpError{http.StatusConflict,
 				fmt.Sprintf("registry full (%d models) and nothing evictable", g.opt.MaxModels)}
 		}
@@ -173,10 +179,18 @@ func (g *registry) upsert(name string, b *pipeline.Bundle) (swapped bool, evicte
 		retired = append(retired, victim)
 	}
 	g.models[name] = inst
+	if name == DefaultModel {
+		// Repoint the unnamed routes before the swap is visible by name, so
+		// no request can resolve the retired (soon-to-close) instance as the
+		// default after the upload response returns.
+		g.def.Store(inst)
+	}
 	g.clock++
 	inst.lastUsed = g.clock
 	g.mu.Unlock()
-	g.retire(retired)
+	if len(retired) > 0 {
+		go g.retire(retired)
+	}
 	g.met.uploads.Add(1)
 	switch {
 	case swapped:
@@ -225,16 +239,17 @@ func (g *registry) remove(name string) error {
 	if !ok {
 		return &httpError{http.StatusNotFound, fmt.Sprintf("model %q not found", name)}
 	}
-	g.retire([]*instance{inst})
+	go g.retire([]*instance{inst})
 	g.met.deletes.Add(1)
 	g.logf("serve: model %q deleted", name)
 	return nil
 }
 
 // retire drains and stops instances that just left the registry (replaced,
-// evicted, or deleted), outside the registry lock and bounded by
-// registryDrainTimeout so a stuffed queue cannot stall the triggering
-// request indefinitely.
+// evicted, or deleted). Callers run it on its own goroutine so the
+// triggering request never waits on the drain, which is bounded by
+// registryDrainTimeout per instance so an abandoned stuffed queue cannot
+// pin its model forever.
 func (g *registry) retire(insts []*instance) {
 	for _, inst := range insts {
 		ctx, cancel := context.WithTimeout(context.Background(), registryDrainTimeout)

@@ -197,6 +197,65 @@ func TestRegistryHotSwap(t *testing.T) {
 	}
 }
 
+// TestRegistryDefaultHotSwap pins that uploading to "default" repoints
+// every unnamed route at the new instance: /v1/predict runs the new
+// encoder, /v1/model exports the new bytes, /healthz reports the new shape,
+// and /v1/stream/adapt keeps accepting (a stale default pointer would keep
+// serving the retired instance and answer 503 once its queue closed).
+func TestRegistryDefaultHotSwap(t *testing.T) {
+	srv, ts, _, defWindows := testServer(t)
+	alt, altWindows := altArtifacts(t, 11)
+	altRaw := bundleBytes(t, alt)
+
+	resp := uploadBundle(t, ts.URL, DefaultModel, altRaw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default swap status %d, want 200", resp.StatusCode)
+	}
+	up := decodeBody[uploadModelResponse](t, resp)
+	if !up.Swapped || up.Evicted != "" {
+		t.Fatalf("default swap response %+v: want swapped=true and no eviction", up)
+	}
+
+	status, exported := getBody(t, ts.URL+"/v1/model")
+	if status != http.StatusOK {
+		t.Fatalf("post-swap default export status %d", status)
+	}
+	if !bytes.Equal(altRaw, exported) {
+		t.Fatal("post-swap /v1/model does not match the swapped-in bundle")
+	}
+
+	// The unnamed predict route now runs the new 3-sensor encoder.
+	resp = postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: altWindows[:2]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap default predict status %d, want 200", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/predict", predictRequest{Windows: defWindows[:2]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("old-shape predict after default swap status %d, want 400", resp.StatusCode)
+	}
+
+	status, health := getBody(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("post-swap healthz status %d", status)
+	}
+	if !strings.Contains(string(health), `"dim":1024`) {
+		t.Fatalf("post-swap healthz %s: want the swapped-in dim 1024", health)
+	}
+
+	// The unnamed streaming surface is wired to the live instance, not the
+	// retired one whose queue is closing in the background.
+	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: altWindows[:2]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-swap stream adapt status %d, want 202", resp.StatusCode)
+	}
+	if st := srv.StreamStats(); st.Enqueued < 2 {
+		t.Fatalf("StreamStats %+v: want the post-swap enqueue visible on the new default", st)
+	}
+}
+
 // TestRegistryLRUEviction pins the cap behavior: the least-recently-used
 // non-default model is displaced, the default model is never a victim, and
 // the evicted name 404s afterwards.

@@ -72,12 +72,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Server serves a registry of named bundles. The bundle it booted with is
-// registered as DefaultModel and backs the unnamed routes.
+// registered as DefaultModel and backs the unnamed routes; uploading to
+// "default" hot-swaps what those routes serve.
 type Server struct {
 	opt Options
 	met *metrics
 	reg *registry
-	def *instance
 }
 
 // New builds a server around a loaded bundle, registering it as the default
@@ -90,9 +90,9 @@ func New(b *pipeline.Bundle, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.def = def
 	s.reg.mu.Lock()
 	s.reg.models[DefaultModel] = def
+	s.reg.def.Store(def)
 	s.reg.mu.Unlock()
 	return s, nil
 }
@@ -104,8 +104,9 @@ func (s *Server) Close(ctx context.Context) error {
 	return s.reg.closeAll(ctx)
 }
 
-// StreamStats snapshots the default model's streaming queue counters.
-func (s *Server) StreamStats() stream.Stats { return s.def.stream.Stats() }
+// StreamStats snapshots the current default model's streaming queue
+// counters (the hot-swapped-in instance after an upload to "default").
+func (s *Server) StreamStats() stream.Stats { return s.reg.def.Load().stream.Stats() }
 
 // Handler returns the HTTP routes:
 //
@@ -147,12 +148,15 @@ func (s *Server) Handler() http.Handler {
 // instanceHandler is one route's logic against a resolved model instance.
 type instanceHandler func(inst *instance, w *responseRecorder, r *http.Request) error
 
-// onDefault wires an instance handler to the pinned default model.
+// onDefault wires an instance handler to whatever instance is currently
+// registered as the default — one atomic load, no registry lock, and always
+// the live instance even after a hot swap of "default" (a cached pointer
+// would keep serving, and stream-enqueueing into, the retired model).
 func (s *Server) onDefault(endpoint string, h instanceHandler) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		w := &responseRecorder{ResponseWriter: rw}
-		s.finish(w, endpoint, start, h(s.def, w, r))
+		s.finish(w, endpoint, start, h(s.reg.def.Load(), w, r))
 	}
 }
 
@@ -482,7 +486,7 @@ func (s *Server) deleteModel(w *responseRecorder, r *http.Request) error {
 }
 
 func (s *Server) healthz(w *responseRecorder, r *http.Request) error {
-	snap := s.def.model.Snapshot()
+	snap := s.reg.def.Load().model.Snapshot()
 	cfg := snap.Config()
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",

@@ -449,8 +449,9 @@ func TestStreamAdaptBackpressure(t *testing.T) {
 	// the worker blocks in its fold, let it take one window in-flight, fill
 	// the queue to capacity, and then a batch that would fit an empty queue
 	// gets 429.
-	srv.def.mu.Lock()
-	unlock := sync.OnceFunc(srv.def.mu.Unlock)
+	def := srv.reg.def.Load()
+	def.mu.Lock()
+	unlock := sync.OnceFunc(def.mu.Unlock)
 	defer unlock()
 	resp = postJSON(t, ts.URL+"/v1/stream/adapt", predictRequest{Windows: windows[:1]})
 	resp.Body.Close()
@@ -600,7 +601,7 @@ func TestMetricsAndHealthzAreCounted(t *testing.T) {
 // half-folded model) and every prediction batch well-formed.
 func TestConcurrentStreamPredictExport(t *testing.T) {
 	srv, ts, _, windows := testServerOpts(t, Options{Workers: 2, MaxBatch: 64, StreamQueue: 256, StreamBatch: 8})
-	classes := srv.def.model.Config().Classes
+	classes := srv.reg.def.Load().model.Config().Classes
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
 	report := func(err error) {
