@@ -14,7 +14,7 @@ FUZZPKG ?= ./internal/hdc
 FUZZ ?= FuzzVectorRoundTrip
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json lint fuzz fmt vet demo serve e2e clean
+.PHONY: build test race bench bench-json lint fuzz fmt vet demo serve e2e ablate-smoke clean
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,19 @@ serve:
 e2e:
 	./scripts/e2e_serve.sh
 
+# ablate-smoke runs a fast adaptation-strategy sweep (2 strategies × 2 seeds
+# on a small config) as a CI sanity check of the ablation runner, writing
+# ablate.json + ablate.md. In GitHub Actions the markdown table lands on the
+# job's step summary. Full grids: `go run ./cmd/smore ablate -h`.
+ABLATE_STRATEGIES ?= margin+constant+bundle,margin+anneal+bundle
+ABLATE_SEEDS ?= 42,43
+ablate-smoke:
+	$(GO) run ./cmd/smore ablate -dim 1024 -levels 16 -ngram 3 -sensors 3 \
+		-classes 4 -window 48 -per-class 24 -retrain 2 \
+		-strategies '$(ABLATE_STRATEGIES)' -seeds '$(ABLATE_SEEDS)' \
+		-out-json ablate.json -out-md ablate.md
+	@if [ -n "$$GITHUB_STEP_SUMMARY" ]; then cat ablate.md >> "$$GITHUB_STEP_SUMMARY"; fi
+
 clean:
 	$(GO) clean -testcache
-	rm -f BENCH_new.json bench_raw.txt
+	rm -f BENCH_new.json bench_raw.txt ablate.json ablate.md

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
 	"go-arxiv/smore/internal/serve"
 )
@@ -102,6 +103,7 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "maximum duration for writing a response")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests, then again for the stream queue")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (opt-in; a bare port like 6060 binds localhost); empty disables")
+		strategy     = flag.String("strategy", "", "override the default model's adaptation strategy (confidence+schedule+update; empty keeps the bundle's)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -114,6 +116,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("smore-serve: %v", err)
 	}
+	if *strategy != "" {
+		strat, err := model.ParseStrategySpec(*strategy)
+		if err != nil {
+			log.Fatalf("smore-serve: %v", err)
+		}
+		b.Model.SetStrategy(strat)
+	}
 	srv, err := serve.New(b, serve.Options{
 		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
 		StreamQueue: *streamQueue, StreamBatch: *streamBatch,
@@ -123,8 +132,8 @@ func main() {
 		log.Fatalf("smore-serve: %v", err)
 	}
 	mcfg := b.Model.Config()
-	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v stream-queue=%d stream-batch=%d max-models=%d)",
-		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), *streamQueue, *streamBatch, *maxModels)
+	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v strategy=%s stream-queue=%d stream-batch=%d max-models=%d)",
+		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), b.Model.Strategy(), *streamQueue, *streamBatch, *maxModels)
 	if *pprofAddr != "" {
 		startPprof(pprofListenAddr(*pprofAddr))
 	}

@@ -1,8 +1,14 @@
-// Command smore runs the full SMORE pipeline end to end on a seeded
-// synthetic multi-sensor dataset: encode the source domains, train the
-// associative memory, evaluate the no-adapt baseline on a shifted target
-// domain, run similarity-based adaptation on the unlabeled target windows,
-// and report the accuracy delta.
+// Command smore runs the SMORE pipeline on a seeded synthetic multi-sensor
+// dataset. It exposes subcommands with shared flag groups:
+//
+//	smore train   generate → encode → train → adapt → eval (optionally save)
+//	smore eval    load a saved bundle and evaluate it on regenerated splits
+//	smore stream  replay the target split as an arriving stream of micro-batches
+//	smore ablate  sweep an adaptation-strategy grid × seeds, emit JSON + markdown
+//
+// Invoking smore without a subcommand keeps the historical flat-flag CLI
+// working (train/eval/stream selected by -load/-no-adapt/-stream/-ablate)
+// with a deprecation notice on stderr, so existing scripts don't break.
 package main
 
 import (
@@ -12,6 +18,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"go-arxiv/smore/internal/data"
@@ -46,79 +54,265 @@ func writeHeapProfile(path string) {
 	fmt.Fprintf(os.Stderr, "smore: wrote heap profile to %s\n", path)
 }
 
-func main() {
-	var (
-		dim        = flag.Int("dim", 4096, "hypervector dimension (multiple of 64)")
-		levels     = flag.Int("levels", 32, "quantization levels")
-		ngram      = flag.Int("ngram", 3, "temporal n-gram length")
-		sensors    = flag.Int("sensors", 4, "sensor channels")
-		classes    = flag.Int("classes", 5, "classes")
-		window     = flag.Int("window", 64, "window length in timesteps")
-		perClass   = flag.Int("per-class", 40, "samples per class per domain")
-		sources    = flag.Int("sources", 2, "source domains")
-		epochs     = flag.Int("retrain", 3, "retrain epochs")
-		adaptEp    = flag.Int("adapt-epochs", 10, "adaptation epochs")
-		confidence = flag.Float64("confidence", 0.005, "pseudo-label similarity margin")
-		rate       = flag.Float64("rate", 2.0, "adaptation learning rate")
-		seed       = flag.Uint64("seed", 42, "master RNG seed")
-		workers    = flag.Int("workers", 0, "worker-pool size for batch stages (0 = all cores)")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
-		save       = flag.String("save", "", "write the trained+adapted model bundle to this file")
-		load       = flag.String("load", "", "load a model bundle instead of training (its encoder/model config overrides the flags; data flags must stay compatible)")
-		noAdapt    = flag.Bool("no-adapt", false, "skip adaptation: evaluate and save the source-only model (the starting point for streaming adaptation)")
-		streamN    = flag.Int("stream", 0, "replay the target split as an arriving stream with this micro-batch size instead of one-shot adaptation")
-		dumpTarget = flag.String("dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file before a clean exit")
-	)
-	flag.Parse()
-	if *noAdapt && *streamN > 0 {
-		fmt.Fprintln(os.Stderr, "smore: -no-adapt and -stream are mutually exclusive")
-		os.Exit(2)
+// cliFlags holds every flag value; each subcommand registers only the
+// groups it needs, so `smore <cmd> -h` lists exactly that command's knobs.
+type cliFlags struct {
+	// data group: the synthetic dataset and encoder shape.
+	dim, levels, ngram, sensors, classes, window, perClass, sources int
+	seed                                                            uint64
+	// model group: training and adaptation knobs.
+	epochs, adaptEp  int
+	confidence, rate float64
+	strategy         string
+	// run group: execution and output knobs.
+	workers                int
+	jsonOut                bool
+	cpuprofile, memprofile string
+	// bundle group: persistence.
+	save, load string
+	// mode-specific.
+	noAdapt    bool
+	streamN    int
+	dumpTarget string
+	// ablate group.
+	strategies string
+	seeds      string
+	outJSON    string
+	outMD      string
+	// legacy only.
+	ablate bool
+}
+
+// dataFlags registers the shared dataset/encoder flag group.
+func (c *cliFlags) dataFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.dim, "dim", 4096, "hypervector dimension (multiple of 64)")
+	fs.IntVar(&c.levels, "levels", 32, "quantization levels")
+	fs.IntVar(&c.ngram, "ngram", 3, "temporal n-gram length")
+	fs.IntVar(&c.sensors, "sensors", 4, "sensor channels")
+	fs.IntVar(&c.classes, "classes", 5, "classes")
+	fs.IntVar(&c.window, "window", 64, "window length in timesteps")
+	fs.IntVar(&c.perClass, "per-class", 40, "samples per class per domain")
+	fs.IntVar(&c.sources, "sources", 2, "source domains")
+	fs.Uint64Var(&c.seed, "seed", 42, "master RNG seed")
+}
+
+// modelFlags registers the shared training/adaptation flag group.
+func (c *cliFlags) modelFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.epochs, "retrain", 3, "retrain epochs")
+	fs.IntVar(&c.adaptEp, "adapt-epochs", 10, "adaptation epochs")
+	fs.Float64Var(&c.confidence, "confidence", 0.005, "pseudo-label similarity margin")
+	fs.Float64Var(&c.rate, "rate", 2.0, "adaptation learning rate")
+	fs.StringVar(&c.strategy, "strategy", "", "adaptation strategy as confidence+schedule+update (empty = margin+constant+bundle)")
+}
+
+// runFlags registers the shared execution/output flag group.
+func (c *cliFlags) runFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.workers, "workers", 0, "worker-pool size for batch stages (0 = all cores)")
+	fs.BoolVar(&c.jsonOut, "json", false, "emit the result as JSON")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file before a clean exit")
+}
+
+// pipelineConfig assembles the pipeline configuration from the flag values,
+// resolving the strategy spec.
+func (c *cliFlags) pipelineConfig() pipeline.Config {
+	strat, err := model.ParseStrategySpec(c.strategy)
+	if err != nil {
+		fatal(err)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	return pipeline.Config{
+		Encoder: encode.Config{
+			Dim: c.dim, Sensors: c.sensors, Levels: c.levels, NGram: c.ngram,
+			Min: -3, Max: 3, Seed: c.seed,
+		},
+		Model: model.Config{
+			Dim: c.dim, Classes: c.classes,
+			RetrainEpochs: c.epochs, AdaptEpochs: c.adaptEp,
+			Confidence: c.confidence, AdaptRate: c.rate,
+		},
+		Data: data.Config{
+			Sensors: c.sensors, Classes: c.classes, WindowLen: c.window,
+			PerClass: c.perClass, Seed: c.seed,
+			Domains: pipeline.DefaultDomains(c.sources),
+		},
+		Strategy:  strat,
+		TrainFrac: 0.75,
+		Workers:   c.workers,
+	}
+}
+
+// startProfiles begins CPU profiling and returns a deferred-cleanup func
+// that stops it and writes the heap profile.
+func (c *cliFlags) startProfiles() func() {
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
 		if err != nil {
 			fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-		defer pprof.StopCPUProfile()
 	}
-	if *memprofile != "" {
-		defer writeHeapProfile(*memprofile)
+	return func() {
+		pprof.StopCPUProfile()
+		if c.memprofile != "" {
+			writeHeapProfile(c.memprofile)
+		}
 	}
+}
 
-	cfg := pipeline.Config{
-		Encoder: encode.Config{
-			Dim: *dim, Sensors: *sensors, Levels: *levels, NGram: *ngram,
-			Min: -3, Max: 3, Seed: *seed,
-		},
-		Model: model.Config{
-			Dim: *dim, Classes: *classes,
-			RetrainEpochs: *epochs, AdaptEpochs: *adaptEp,
-			Confidence: *confidence, AdaptRate: *rate,
-		},
-		Data: data.Config{
-			Sensors: *sensors, Classes: *classes, WindowLen: *window,
-			PerClass: *perClass, Seed: *seed,
-			Domains: pipeline.DefaultDomains(*sources),
-		},
-		TrainFrac: 0.75,
-		Workers:   *workers,
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "train", "eval", "stream", "ablate":
+			runSubcommand(args[0], args[1:])
+			return
+		case "help", "-help", "--help", "-h":
+			usage()
+			return
+		}
 	}
+	runLegacy(args)
+}
 
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: smore <command> [flags]
+
+Commands:
+  train    generate → encode → train → adapt → eval (optionally -save)
+  eval     load a bundle (-load) and evaluate it on regenerated splits
+  stream   replay the target split as an arriving stream of micro-batches
+  ablate   sweep an adaptation-strategy grid × seeds, emit JSON + markdown
+
+Run 'smore <command> -h' for that command's flags. Invoking smore with
+top-level flags (no command) keeps the historical flat CLI working.
+`)
+}
+
+// runSubcommand parses the named command's flag groups and executes it.
+func runSubcommand(name string, args []string) {
+	c := &cliFlags{}
+	fs := flag.NewFlagSet("smore "+name, flag.ExitOnError)
+	c.dataFlags(fs)
+	c.runFlags(fs)
+	switch name {
+	case "train":
+		c.modelFlags(fs)
+		fs.StringVar(&c.save, "save", "", "write the trained+adapted model bundle to this file")
+		fs.BoolVar(&c.noAdapt, "no-adapt", false, "skip adaptation: evaluate and save the source-only model")
+		fs.StringVar(&c.dumpTarget, "dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
+	case "eval":
+		c.modelFlags(fs)
+		fs.StringVar(&c.load, "load", "", "model bundle to evaluate (required; its encoder/model config overrides the flags)")
+		fs.BoolVar(&c.noAdapt, "no-adapt", false, "baseline only: do not adapt the loaded model")
+	case "stream":
+		c.modelFlags(fs)
+		fs.IntVar(&c.streamN, "batch", 16, "micro-batch size for the streamed replay")
+		fs.StringVar(&c.load, "load", "", "start from this bundle instead of training (typically a -no-adapt source model)")
+		fs.StringVar(&c.save, "save", "", "write the post-stream model bundle to this file")
+	case "ablate":
+		c.modelFlags(fs)
+		fs.StringVar(&c.strategies, "strategies", strings.Join(pipeline.DefaultAblateStrategies(), ","),
+			"comma-separated confidence+schedule+update specs to sweep")
+		fs.StringVar(&c.seeds, "seeds", "42,43", "comma-separated master seeds to sweep per strategy")
+		fs.StringVar(&c.outJSON, "out-json", "", "also write the full sweep result as JSON to this file")
+		fs.StringVar(&c.outMD, "out-md", "", "also write the markdown comparison table to this file")
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	stop := c.startProfiles()
+	defer stop()
+	switch name {
+	case "train":
+		if c.noAdapt {
+			runPipeline(c, modeBaseline)
+		} else {
+			runPipeline(c, modeAdapt)
+		}
+	case "eval":
+		if c.load == "" {
+			fatal("eval requires -load (use 'smore train' to produce a bundle)")
+		}
+		if c.noAdapt {
+			runPipeline(c, modeBaseline)
+		} else {
+			runPipeline(c, modeAdapt)
+		}
+	case "stream":
+		if c.streamN <= 0 {
+			fatal("stream requires -batch >= 1")
+		}
+		runPipeline(c, modeStream)
+	case "ablate":
+		runAblate(c)
+	}
+}
+
+// runLegacy is the historical flat-flag CLI: every knob on the top level,
+// the mode selected by -no-adapt/-stream/-ablate. Kept working (with a
+// stderr deprecation notice) so existing scripts and Makefile targets
+// survive the subcommand restructure.
+func runLegacy(args []string) {
+	c := &cliFlags{}
+	fs := flag.NewFlagSet("smore", flag.ExitOnError)
+	c.dataFlags(fs)
+	c.modelFlags(fs)
+	c.runFlags(fs)
+	fs.StringVar(&c.save, "save", "", "write the trained+adapted model bundle to this file")
+	fs.StringVar(&c.load, "load", "", "load a model bundle instead of training (its encoder/model config overrides the flags; data flags must stay compatible)")
+	fs.BoolVar(&c.noAdapt, "no-adapt", false, "skip adaptation: evaluate and save the source-only model (the starting point for streaming adaptation)")
+	fs.IntVar(&c.streamN, "stream", 0, "replay the target split as an arriving stream with this micro-batch size instead of one-shot adaptation")
+	fs.StringVar(&c.dumpTarget, "dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
+	fs.BoolVar(&c.ablate, "ablate", false, "run the adaptation-strategy ablation sweep (see 'smore ablate -h' for its dedicated flags)")
+	fs.StringVar(&c.strategies, "strategies", strings.Join(pipeline.DefaultAblateStrategies(), ","),
+		"comma-separated strategy specs for -ablate")
+	fs.StringVar(&c.seeds, "seeds", "42,43", "comma-separated master seeds for -ablate")
+	fs.StringVar(&c.outJSON, "out-json", "", "with -ablate, also write the sweep JSON to this file")
+	fs.StringVar(&c.outMD, "out-md", "", "with -ablate, also write the markdown table to this file")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	fmt.Fprintln(os.Stderr, "smore: note: the flat CLI is deprecated; prefer 'smore train|eval|stream|ablate' (same flags, grouped per command)")
+	if c.noAdapt && c.streamN > 0 {
+		fmt.Fprintln(os.Stderr, "smore: -no-adapt and -stream are mutually exclusive")
+		os.Exit(2)
+	}
+	stop := c.startProfiles()
+	defer stop()
+	switch {
+	case c.ablate:
+		runAblate(c)
+	case c.noAdapt:
+		runPipeline(c, modeBaseline)
+	case c.streamN > 0:
+		runPipeline(c, modeStream)
+	default:
+		runPipeline(c, modeAdapt)
+	}
+}
+
+// Pipeline run modes shared by the subcommands and the legacy CLI.
+const (
+	modeAdapt    = "adapt"    // train/load → baseline eval → adapt → eval
+	modeBaseline = "baseline" // train/load → baseline eval only
+	modeStream   = "stream"   // train/load → streamed micro-batch adaptation
+)
+
+// runPipeline executes one train-or-load pipeline run in the given mode and
+// renders the result (JSON or the human-readable summary).
+func runPipeline(c *cliFlags, mode string) {
+	cfg := c.pipelineConfig()
 	start := time.Now()
 	var art *pipeline.Artifacts
 	var err error
-	if *load != "" {
-		b, lerr := pipeline.LoadBundleFile(*load)
+	if c.load != "" {
+		b, lerr := pipeline.LoadBundleFile(c.load)
 		if lerr != nil {
 			fatal(lerr)
 		}
 		cfg.Encoder = b.Encoder
 		cfg.Model = b.Model.Config()
+		if c.strategy != "" {
+			b.Model.SetStrategy(cfg.Strategy)
+		}
 		art, err = pipeline.WithModel(cfg, b.Model)
 	} else {
 		art, err = pipeline.Train(cfg)
@@ -126,20 +320,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *dumpTarget != "" {
-		if err := writeTargetDump(art, *dumpTarget); err != nil {
+	if c.dumpTarget != "" {
+		if err := writeTargetDump(art, c.dumpTarget); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "smore: dumped target split to %s.windows.json / %s.labels.json\n", *dumpTarget, *dumpTarget)
+		fmt.Fprintf(os.Stderr, "smore: dumped target split to %s.windows.json / %s.labels.json\n", c.dumpTarget, c.dumpTarget)
 	}
 
 	var res *pipeline.Result
 	var streamRes *pipeline.StreamResult
-	switch {
-	case *noAdapt:
+	switch mode {
+	case modeBaseline:
 		res, err = art.EvaluateBaseline()
-	case *streamN > 0:
-		streamRes, err = art.StreamEvaluate(*streamN)
+	case modeStream:
+		streamRes, err = art.StreamEvaluate(c.streamN)
 	default:
 		res, err = art.Evaluate()
 	}
@@ -147,14 +341,14 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond).String()
-	if *save != "" {
-		if err := art.Bundle().SaveFile(*save); err != nil {
+	if c.save != "" {
+		if err := art.Bundle().SaveFile(c.save); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "smore: saved model bundle to %s\n", *save)
+		fmt.Fprintf(os.Stderr, "smore: saved model bundle to %s\n", c.save)
 	}
 
-	if *jsonOut {
+	if c.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		var out any = streamRes
@@ -186,7 +380,7 @@ func main() {
 	}
 	fmt.Printf("  source-domain test accuracy:   %.3f\n", res.SourceAccuracy)
 	fmt.Printf("  target baseline (no adapt):    %.3f\n", res.TargetBaseline)
-	if *noAdapt {
+	if mode == modeBaseline {
 		fmt.Printf("  adaptation skipped (-no-adapt)  elapsed: %s\n", elapsed)
 		return
 	}
@@ -194,6 +388,61 @@ func main() {
 	fmt.Printf("  accuracy delta:                %+.3f\n", res.TargetAdapted-res.TargetBaseline)
 	fmt.Printf("  pseudo-labels applied: %d (skipped %d)  elapsed: %s\n",
 		res.Adapt.PseudoLabels, res.Adapt.Skipped, elapsed)
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runAblate executes the strategy × seed sweep and emits the comparison:
+// the markdown table on stdout (or the full JSON with -json), plus optional
+// -out-json / -out-md files for CI artifacts.
+func runAblate(c *cliFlags) {
+	var seeds []uint64
+	for _, s := range splitList(c.seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fatal("bad -seeds entry:", err)
+		}
+		seeds = append(seeds, v)
+	}
+	res, err := pipeline.Ablate(pipeline.AblateSpec{
+		Base:       c.pipelineConfig(),
+		Strategies: splitList(c.strategies),
+		Seeds:      seeds,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	md := res.Markdown()
+	if c.outJSON != "" {
+		if err := os.WriteFile(c.outJSON, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smore: wrote ablation JSON to %s\n", c.outJSON)
+	}
+	if c.outMD != "" {
+		if err := os.WriteFile(c.outMD, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smore: wrote ablation markdown to %s\n", c.outMD)
+	}
+	if c.jsonOut {
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Print(md)
 }
 
 // writeTargetDump writes the artifacts' raw target windows — as a

@@ -29,6 +29,11 @@ var ErrNotTrained = errors.New("model: not trained")
 // layer), distinct from state conflicts like ErrNotTrained.
 var ErrInvalidTargets = errors.New("model: invalid targets")
 
+// ErrInvalidConfig marks configuration values Validate rejects, so callers
+// (the serving layer mapping upload errors to HTTP 400, the CLI) can detect
+// a config problem with errors.Is instead of string matching.
+var ErrInvalidConfig = errors.New("model: invalid config")
+
 // Config parameterizes a Model.
 type Config struct {
 	Dim     int // hypervector dimension, must match the encoder
@@ -57,28 +62,29 @@ type Config struct {
 	TopFrac float64
 }
 
-// Validate reports the first configuration error, if any.
+// Validate reports the first configuration error, if any. Every failure
+// wraps ErrInvalidConfig.
 func (c Config) Validate() error {
 	if err := hdc.CheckDim(c.Dim); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	switch {
 	case c.Classes < 2:
-		return fmt.Errorf("model: Classes %d < 2", c.Classes)
+		return fmt.Errorf("%w: Classes %d < 2", ErrInvalidConfig, c.Classes)
 	case c.RetrainEpochs < 0:
-		return fmt.Errorf("model: RetrainEpochs %d < 0", c.RetrainEpochs)
+		return fmt.Errorf("%w: RetrainEpochs %d < 0", ErrInvalidConfig, c.RetrainEpochs)
 	case c.AdaptEpochs < 1:
-		return fmt.Errorf("model: AdaptEpochs %d < 1", c.AdaptEpochs)
+		return fmt.Errorf("%w: AdaptEpochs %d < 1", ErrInvalidConfig, c.AdaptEpochs)
 	case !(c.Confidence >= 0 && c.Confidence <= 1): // rejects NaN too
-		return fmt.Errorf("model: Confidence %v outside [0,1]", c.Confidence)
+		return fmt.Errorf("%w: Confidence %v outside [0,1]", ErrInvalidConfig, c.Confidence)
 	// The bounds rail against hdc's fixed-point accumulator: rates below
 	// 1/128 can quantize every update to a no-op (the per-sample weight is
 	// AdaptRate*(1+sim)/2, and the accumulator resolves 1/256 steps), and
 	// rates above 2^20 exceed its weight range. NaN/Inf fail both bounds.
 	case !(c.AdaptRate >= 1.0/128 && c.AdaptRate <= 1<<20):
-		return fmt.Errorf("model: AdaptRate %v outside [1/128, 2^20]", c.AdaptRate)
+		return fmt.Errorf("%w: AdaptRate %v outside [1/128, 2^20]", ErrInvalidConfig, c.AdaptRate)
 	case !(c.TopFrac >= 0 && c.TopFrac <= 1):
-		return fmt.Errorf("model: TopFrac %v outside [0,1]", c.TopFrac)
+		return fmt.Errorf("%w: TopFrac %v outside [0,1]", ErrInvalidConfig, c.TopFrac)
 	}
 	return nil
 }
@@ -165,6 +171,13 @@ type Ensemble struct {
 	domMat  *hdc.Matrix  // packed source domain prototypes for domainWeights
 	adapted *domainModel // set by Adapt; nil until then
 
+	// strategy is the pluggable adaptation recipe (zero value = default).
+	// It has its own short mutex so Strategy() never blocks behind a long
+	// adaptation fold holding mu; stratMu is only ever taken on its own or
+	// inside mu, never the other way around.
+	stratMu  sync.Mutex
+	strategy Strategy
+
 	snap atomic.Pointer[Snapshot] // current published read-only view
 	pool scratchPool              // zero-alloc scoring scratch, shared across snapshots
 }
@@ -227,6 +240,24 @@ func New(cfg Config) (*Ensemble, error) {
 		return nil, err
 	}
 	return &Ensemble{cfg: cfg}, nil
+}
+
+// SetStrategy installs the adaptation strategy used by subsequent Adapt*
+// calls (nil pieces fall back to the default recipe). It is safe to call
+// concurrently with every other method; an adaptation fold already in
+// flight finishes under the strategy it started with.
+func (m *Ensemble) SetStrategy(s Strategy) {
+	m.stratMu.Lock()
+	m.strategy = s.withDefaults()
+	m.stratMu.Unlock()
+}
+
+// Strategy returns the currently installed adaptation strategy (the
+// default recipe until SetStrategy or a strategy-carrying ReadFrom runs).
+func (m *Ensemble) Strategy() Strategy {
+	m.stratMu.Lock()
+	defer m.stratMu.Unlock()
+	return m.strategy.withDefaults()
 }
 
 // Config returns the ensemble's configuration. Like every other read path
@@ -363,6 +394,14 @@ type AdaptStats struct {
 	Skipped      int `json:"skipped"`       // samples below the confidence margin
 }
 
+// Accumulate folds another run's counters into s (the streaming adapter
+// sums per-fold stats into its cumulative books with it).
+func (s *AdaptStats) Accumulate(o AdaptStats) {
+	s.Epochs += o.Epochs
+	s.PseudoLabels += o.PseudoLabels
+	s.Skipped += o.Skipped
+}
+
 // Adapt runs SMORE's similarity-based adaptation on unlabeled target
 // samples, using all available workers for the scoring passes. It is
 // exactly AdaptBatch(targets, 0).
@@ -374,13 +413,17 @@ func (m *Ensemble) Adapt(targets []hdc.Vector) (AdaptStats, error) {
 // samples. The target model starts as the similarity-weighted mixture of
 // the source class accumulators (weighted by how close the bundled target
 // distribution is to each source domain prototype). Each epoch then scores
-// every target sample, pseudo-labels those whose best-vs-second-best margin
-// clears cfg.Confidence, and adds them to the pseudo class with weight
-// proportional to their similarity to the current prototype.
+// every target sample and hands the score vectors to the installed
+// Strategy: the ConfidenceRule picks pseudo-label candidates, the Schedule
+// sets that epoch's acceptance threshold and per-class TopFrac cap, and
+// the UpdateRule folds the accepted samples into the target accumulators.
+// The default strategy reproduces the paper's fixed recipe byte-for-byte:
+// best-vs-second-best margin against cfg.Confidence, constant TopFrac,
+// similarity-weighted bundling.
 //
 // Scoring runs concurrently on a pool of the given worker count (workers
 // <= 0 means GOMAXPROCS). Scores land in per-sample slots and candidates
-// are ranked by (margin, index), so the adapted model and the returned
+// are ranked by (confidence, index), so the adapted model and the returned
 // stats are byte-identical for every worker count.
 func (m *Ensemble) AdaptBatch(targets []hdc.Vector, workers int) (AdaptStats, error) {
 	return m.adapt(targets, workers, false)
@@ -412,6 +455,7 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		}
 	}
 	cfg := m.cfg
+	strat := m.Strategy() // stratMu nests inside mu, never the reverse
 	pool := parallel.NewPool(workers)
 	tgt := m.adapted
 	if !incremental || tgt == nil {
@@ -438,15 +482,12 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		tgt.domProt = tgt.domAcc.Majority()
 	}
 
-	topFrac := cfg.TopFrac
-	if topFrac == 0 {
-		topFrac = 0.5
-	}
+	updater := strat.Update.NewUpdater(cfg)
 	stats := AdaptStats{}
 	type candidate struct {
-		idx    int
-		margin float64
-		sim    float64
+		idx  int
+		conf float64
+		sim  float64
 	}
 	// Per-sample scoring results and scratch; slot i (and its stripe of
 	// scoreBuf) is only written by the worker handling sample i.
@@ -455,16 +496,16 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 	byClass := make([][]candidate, cfg.Classes)
 	classOf := make([]int, len(targets))
 	scoreBuf := make([]float64, len(targets)*cfg.Classes)
-	for range cfg.AdaptEpochs {
+	for epoch := range cfg.AdaptEpochs {
+		threshold, topFrac := strat.Schedule.Epoch(epoch, cfg.AdaptEpochs, cfg)
 		stats.Epochs++
 		pool.ForEach(len(targets), func(i int) {
 			scores := scoreBuf[i*cfg.Classes : (i+1)*cfg.Classes]
 			tgt.scores(targets[i], scores)
-			best, second := top2(scores)
-			margin := scores[best] - scores[second]
-			confident[i] = margin >= cfg.Confidence
-			classOf[i] = best
-			preds[i] = candidate{idx: i, margin: margin, sim: scores[best]}
+			class, conf, sim := strat.Confidence.Assess(scores)
+			confident[i] = conf >= threshold
+			classOf[i] = class
+			preds[i] = candidate{idx: i, conf: conf, sim: sim}
 		})
 		for c := range byClass {
 			byClass[c] = byClass[c][:0]
@@ -478,13 +519,13 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		}
 		// Apply only the most confident fraction per pseudo-class so a
 		// single over-predicted class cannot drown out the others. Ties
-		// on margin break on the sample index to keep the update order
-		// fully deterministic.
+		// on confidence break on the sample index to keep the update
+		// order fully deterministic.
 		updated := false
 		for c, cands := range byClass {
 			sort.Slice(cands, func(i, j int) bool {
-				if cands[i].margin != cands[j].margin {
-					return cands[i].margin > cands[j].margin
+				if cands[i].conf != cands[j].conf {
+					return cands[i].conf > cands[j].conf
 				}
 				return cands[i].idx < cands[j].idx
 			})
@@ -493,17 +534,24 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 			}
 			keep := max(1, int(float64(len(cands))*topFrac))
 			for _, cand := range cands[:min(keep, len(cands))] {
-				// Similarity-proportional update: the closer the
-				// sample already is to the winning prototype, the
-				// more it reinforces it.
-				tgt.classAcc[c].Add(targets[cand.idx], cfg.AdaptRate*simWeight(cand.sim))
+				updater.Apply(tgt.classAcc, c, targets[cand.idx], cand.sim)
 				tgt.classCount[c]++
 				stats.PseudoLabels++
 				updated = true
 			}
 		}
+		updater.FinishEpoch(tgt.classAcc)
 		if !updated {
-			break
+			// An empty epoch implies every later epoch is empty too — the
+			// prototypes didn't move, so identical scores meet identical
+			// gates — UNLESS the schedule relaxes the gates later. Only
+			// bail early once the schedule has nothing further to give.
+			if next := epoch + 1; next >= cfg.AdaptEpochs {
+				break
+			} else if nextTh, nextTop := strat.Schedule.Epoch(next, cfg.AdaptEpochs, cfg); nextTh == threshold && nextTop == topFrac {
+				break
+			}
+			continue
 		}
 		tgt.rebuildPrototypes()
 	}

@@ -12,10 +12,12 @@ import (
 
 // Wire format (all integers little-endian):
 //
-//	magic "SME1"
+//	magic "SME1" or "SME2"
 //	config: uint32 Dim, uint32 Classes, uint32 RetrainEpochs,
 //	        uint32 AdaptEpochs, float64 Confidence, float64 AdaptRate,
 //	        float64 TopFrac
+//	(SME2 only) strategy section: 3 × (uint32 length + name bytes) for the
+//	        confidence rule, schedule, and update rule
 //	uint32 domain count, uint8 adapted flag
 //	per domain (then the adapted target model, if the flag is set):
 //	    int32 id
@@ -25,9 +27,13 @@ import (
 //
 // The binarized prototypes are not stored: Majority is deterministic, so
 // they are rebuilt bit-identically on load. The magic doubles as the format
-// version; bump it on any layout change.
+// version. An ensemble on the default strategy serializes as "SME1" —
+// byte-identical to every pre-strategy artifact, including the committed
+// golden — and only a non-default strategy promotes the output to "SME2";
+// both versions stay readable, and the strategy choice round-trips.
 const (
-	ensembleMagic = "SME1"
+	ensembleMagic   = "SME1"
+	ensembleMagicV2 = "SME2"
 
 	// maxDomains bounds the domain count accepted by ReadFrom so a corrupt
 	// header cannot drive an unbounded allocation loop.
@@ -39,6 +45,9 @@ const (
 	// bundle declaring billions of adapt epochs would otherwise hang the
 	// first Adapt call (and, in a server, every reader behind its lock).
 	maxEpochs = 1 << 20
+	// maxStrategyName bounds the length of a serialized strategy name so a
+	// corrupt SME2 header cannot drive a huge allocation.
+	maxStrategyName = 64
 )
 
 // WriteTo serializes the ensemble — configuration, every source domain's
@@ -57,8 +66,13 @@ func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
 	if len(m.domains) == 0 {
 		return 0, fmt.Errorf("model: cannot serialize an untrained ensemble")
 	}
+	strat := m.Strategy() // stratMu nests inside mu, never the reverse
 	var buf bytes.Buffer
-	buf.WriteString(ensembleMagic)
+	if strat.isDefault() {
+		buf.WriteString(ensembleMagic)
+	} else {
+		buf.WriteString(ensembleMagicV2)
+	}
 	putUint32 := func(v uint32) {
 		var b [4]byte
 		binary.LittleEndian.PutUint32(b[:], v)
@@ -76,6 +90,13 @@ func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
 	putFloat64(m.cfg.Confidence)
 	putFloat64(m.cfg.AdaptRate)
 	putFloat64(m.cfg.TopFrac)
+	if !strat.isDefault() {
+		conf, sched, upd := strat.Names()
+		for _, name := range []string{conf, sched, upd} {
+			putUint32(uint32(len(name)))
+			buf.WriteString(name)
+		}
+	}
 
 	putUint32(uint32(len(m.domains)))
 	adapted := byte(0)
@@ -133,7 +154,8 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 	if err := cr.read(magic[:]); err != nil {
 		return cr.n, fmt.Errorf("model: reading header: %w", err)
 	}
-	if string(magic[:]) != ensembleMagic {
+	version := string(magic[:])
+	if version != ensembleMagic && version != ensembleMagicV2 {
 		return cr.n, fmt.Errorf("model: bad ensemble magic %q (unsupported version?)", magic[:])
 	}
 	var cfg Config
@@ -175,6 +197,36 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 	if cfg.RetrainEpochs > maxEpochs || cfg.AdaptEpochs > maxEpochs {
 		return cr.n, fmt.Errorf("model: loaded epoch counts %d/%d exceed maximum %d",
 			cfg.RetrainEpochs, cfg.AdaptEpochs, maxEpochs)
+	}
+
+	strat := DefaultStrategy()
+	if version == ensembleMagicV2 {
+		readName := func() (string, error) {
+			var n int
+			if err := readUint32(&n); err != nil {
+				return "", err
+			}
+			if n > maxStrategyName {
+				return "", fmt.Errorf("name length %d exceeds maximum %d", n, maxStrategyName)
+			}
+			b := make([]byte, n)
+			if err := cr.read(b); err != nil {
+				return "", err
+			}
+			return string(b), nil
+		}
+		var names [3]string
+		for i := range names {
+			name, err := readName()
+			if err != nil {
+				return cr.n, fmt.Errorf("model: reading strategy: %w", err)
+			}
+			names[i] = name
+		}
+		var err error
+		if strat, err = ParseStrategy(names[0], names[1], names[2]); err != nil {
+			return cr.n, fmt.Errorf("model: loaded strategy invalid: %w", err)
+		}
 	}
 
 	var numDomains int
@@ -271,6 +323,7 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 	m.cfg = cfg
 	m.domains = domains
 	m.adapted = adapted
+	m.SetStrategy(strat) // stratMu nests inside mu; a reload always reflects the file
 	m.rebuildDomainMatrix()
 	m.publish()
 	m.mu.Unlock()

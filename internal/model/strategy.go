@@ -1,0 +1,373 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// ErrUnknownStrategy marks a strategy name that does not resolve to a
+// registered rule — a caller error (HTTP 400 at the serving layer).
+var ErrUnknownStrategy = errors.New("model: unknown strategy")
+
+// ConfidenceRule turns one sample's per-class score vector into a
+// pseudo-label candidate: the predicted class, a confidence value that the
+// schedule's threshold is compared against, and the similarity that scales
+// the update weight. Assess runs concurrently on the scoring worker pool,
+// so implementations must be stateless (or otherwise safe for concurrent
+// calls) and must not retain the scores slice.
+type ConfidenceRule interface {
+	Name() string
+	Assess(scores []float64) (class int, conf, sim float64)
+}
+
+// Schedule yields the acceptance threshold and the per-class TopFrac cap
+// for each adaptation epoch (0-based), so variants can anneal either knob
+// across the adaptation run instead of holding them constant.
+type Schedule interface {
+	Name() string
+	Epoch(epoch, total int, cfg Config) (threshold, topFrac float64)
+}
+
+// UpdateRule decides how accepted pseudo-labeled samples fold into the
+// target model's class accumulators. NewUpdater is called once per Adapt*
+// call; the returned Updater may carry state across that call's epochs
+// (e.g. EMA staging accumulators) and is only ever driven from a single
+// goroutine, in a deterministic order.
+type UpdateRule interface {
+	Name() string
+	NewUpdater(cfg Config) Updater
+}
+
+// Updater is the per-adaptation-run state of an UpdateRule. Apply folds
+// one accepted sample into class acc[class]; calls arrive in a fixed order
+// (class ascending, most confident first within a class), so the adapted
+// model is byte-identical for every worker count. FinishEpoch runs after
+// every accepted sample of an epoch has been applied, before the
+// prototypes are rebuilt.
+type Updater interface {
+	Apply(acc []*hdc.Accumulator, class int, hv hdc.Vector, sim float64)
+	FinishEpoch(acc []*hdc.Accumulator)
+}
+
+// Strategy bundles the three pluggable pieces of the adaptation loop. The
+// zero value (all nil) means the default recipe — MarginConfidence +
+// ConstantSchedule + BundleUpdate — which reproduces the historical fixed
+// loop byte-identically.
+type Strategy struct {
+	Confidence ConfidenceRule
+	Schedule   Schedule
+	Update     UpdateRule
+}
+
+// DefaultStrategy returns the paper's recipe: confidence-margin
+// pseudo-labels, constant threshold/TopFrac, direct bundling updates.
+func DefaultStrategy() Strategy {
+	return Strategy{
+		Confidence: MarginConfidence{},
+		Schedule:   ConstantSchedule{},
+		Update:     BundleUpdate{},
+	}
+}
+
+// withDefaults fills nil pieces with the default recipe's.
+func (s Strategy) withDefaults() Strategy {
+	if s.Confidence == nil {
+		s.Confidence = MarginConfidence{}
+	}
+	if s.Schedule == nil {
+		s.Schedule = ConstantSchedule{}
+	}
+	if s.Update == nil {
+		s.Update = BundleUpdate{}
+	}
+	return s
+}
+
+// Names returns the registered names of the three pieces (nil pieces
+// report the default piece's name).
+func (s Strategy) Names() (confidence, schedule, update string) {
+	s = s.withDefaults()
+	return s.Confidence.Name(), s.Schedule.Name(), s.Update.Name()
+}
+
+// String renders the strategy as the canonical "confidence+schedule+update"
+// spec accepted by ParseStrategySpec.
+func (s Strategy) String() string {
+	c, sc, u := s.Names()
+	return c + "+" + sc + "+" + u
+}
+
+// isDefault reports whether the strategy is the default recipe, which is
+// persisted in the legacy "SME1" layout for byte-compatibility.
+func (s Strategy) isDefault() bool {
+	c, sc, u := s.Names()
+	return c == "margin" && sc == "constant" && u == "bundle"
+}
+
+// ParseConfidenceRule resolves a registered confidence rule by name; the
+// empty string means the default (margin).
+func ParseConfidenceRule(name string) (ConfidenceRule, error) {
+	switch name {
+	case "", "margin":
+		return MarginConfidence{}, nil
+	case "entropy":
+		return EntropyConfidence{}, nil
+	}
+	return nil, fmt.Errorf("%w: confidence rule %q (have: %s)", ErrUnknownStrategy, name, strings.Join(ConfidenceRuleNames(), ", "))
+}
+
+// ParseSchedule resolves a registered schedule by name; the empty string
+// means the default (constant).
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "", "constant":
+		return ConstantSchedule{}, nil
+	case "anneal":
+		return AnnealSchedule{}, nil
+	}
+	return nil, fmt.Errorf("%w: schedule %q (have: %s)", ErrUnknownStrategy, name, strings.Join(ScheduleNames(), ", "))
+}
+
+// ParseUpdateRule resolves a registered update rule by name; the empty
+// string means the default (bundle).
+func ParseUpdateRule(name string) (UpdateRule, error) {
+	switch name {
+	case "", "bundle":
+		return BundleUpdate{}, nil
+	case "ema":
+		return EMAUpdate{}, nil
+	}
+	return nil, fmt.Errorf("%w: update rule %q (have: %s)", ErrUnknownStrategy, name, strings.Join(UpdateRuleNames(), ", "))
+}
+
+// ConfidenceRuleNames lists the registered confidence rules.
+func ConfidenceRuleNames() []string { return []string{"margin", "entropy"} }
+
+// ScheduleNames lists the registered schedules.
+func ScheduleNames() []string { return []string{"constant", "anneal"} }
+
+// UpdateRuleNames lists the registered update rules.
+func UpdateRuleNames() []string { return []string{"bundle", "ema"} }
+
+// ParseStrategy assembles a strategy from the three piece names; empty
+// names select the default piece.
+func ParseStrategy(confidence, schedule, update string) (Strategy, error) {
+	c, err := ParseConfidenceRule(confidence)
+	if err != nil {
+		return Strategy{}, err
+	}
+	sc, err := ParseSchedule(schedule)
+	if err != nil {
+		return Strategy{}, err
+	}
+	u, err := ParseUpdateRule(update)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Confidence: c, Schedule: sc, Update: u}, nil
+}
+
+// ParseStrategySpec parses a "confidence+schedule+update" spec (the format
+// String renders). The empty spec means the default strategy.
+func ParseStrategySpec(spec string) (Strategy, error) {
+	if spec == "" {
+		return DefaultStrategy(), nil
+	}
+	parts := strings.Split(spec, "+")
+	if len(parts) != 3 {
+		return Strategy{}, fmt.Errorf("%w: spec %q must be confidence+schedule+update", ErrUnknownStrategy, spec)
+	}
+	return ParseStrategy(parts[0], parts[1], parts[2])
+}
+
+// MarginConfidence is the paper's rule: a sample is confident when the
+// cosine margin between its best and second-best class clears the
+// threshold. The similarity of the winning class weights the update.
+type MarginConfidence struct{}
+
+// Name implements ConfidenceRule.
+func (MarginConfidence) Name() string { return "margin" }
+
+// Assess implements ConfidenceRule.
+func (MarginConfidence) Assess(scores []float64) (int, float64, float64) {
+	best, second := top2(scores)
+	return best, scores[best] - scores[second], scores[best]
+}
+
+// EntropyConfidence scores a sample by how peaked its class-similarity
+// distribution is: confidence is 1 − H(p)/ln(n) where p normalizes the
+// (1+cos)/2 vote weights over the n classes with finite scores. Near-zero
+// for an uninformative (uniform) score vector and 1 for a one-class field,
+// it lives on a scale comparable to the margin rule's, so the same
+// Config.Confidence threshold remains a sensible knob.
+type EntropyConfidence struct{}
+
+// Name implements ConfidenceRule.
+func (EntropyConfidence) Name() string { return "entropy" }
+
+// Assess implements ConfidenceRule.
+func (EntropyConfidence) Assess(scores []float64) (int, float64, float64) {
+	best := argmax(scores)
+	sum, wlogw := 0.0, 0.0
+	finite := 0
+	for _, s := range scores {
+		// Never-trained classes score -Inf (and poisoned entries NaN);
+		// they carry no probability mass and must not dilute the entropy.
+		if math.IsNaN(s) || math.IsInf(s, -1) {
+			continue
+		}
+		finite++
+		if w := simWeight(s); w > 0 {
+			sum += w
+			wlogw += w * math.Log(w)
+		}
+	}
+	conf := 1.0
+	if finite > 1 && sum > 0 {
+		// H of the normalized weights, computed without materializing p:
+		// H = ln(sum) − Σ w·ln(w) / sum.
+		h := math.Log(sum) - wlogw/sum
+		conf = 1 - h/math.Log(float64(finite))
+		if conf < 0 { // guard float rounding below the H ≤ ln(n) bound
+			conf = 0
+		}
+	}
+	return best, conf, scores[best]
+}
+
+// ConstantSchedule holds the configured threshold and TopFrac for every
+// epoch — the paper's fixed recipe.
+type ConstantSchedule struct{}
+
+// Name implements Schedule.
+func (ConstantSchedule) Name() string { return "constant" }
+
+// Epoch implements Schedule.
+func (ConstantSchedule) Epoch(_, _ int, cfg Config) (float64, float64) {
+	return cfg.Confidence, effTopFrac(cfg.TopFrac)
+}
+
+// annealStartFactor is how much stricter than Config.Confidence the
+// annealed schedule starts.
+const annealStartFactor = 4.0
+
+// AnnealSchedule starts strict and relaxes linearly over the adaptation
+// run: the acceptance threshold decays from annealStartFactor×Confidence
+// down to Confidence by the final epoch, while the per-class TopFrac cap
+// ramps from half its configured value up to full. Early epochs therefore
+// fold only the most trustworthy pseudo-labels — before the target
+// prototypes have moved — and later epochs open the gates once the model
+// has adapted toward the target distribution.
+type AnnealSchedule struct{}
+
+// Name implements Schedule.
+func (AnnealSchedule) Name() string { return "anneal" }
+
+// Epoch implements Schedule.
+func (AnnealSchedule) Epoch(epoch, total int, cfg Config) (float64, float64) {
+	frac := 1.0
+	if total > 1 {
+		frac = float64(epoch) / float64(total-1)
+	}
+	top := effTopFrac(cfg.TopFrac)
+	return cfg.Confidence * (annealStartFactor - (annealStartFactor-1)*frac),
+		top * (0.5 + 0.5*frac)
+}
+
+// effTopFrac applies the historical TopFrac default: zero means 0.5.
+func effTopFrac(f float64) float64 {
+	if f == 0 {
+		return 0.5
+	}
+	return f
+}
+
+// BundleUpdate is the paper's update: each accepted sample is added to its
+// pseudo-class accumulator with weight AdaptRate·(1+sim)/2, permanently.
+type BundleUpdate struct{}
+
+// Name implements UpdateRule.
+func (BundleUpdate) Name() string { return "bundle" }
+
+// NewUpdater implements UpdateRule.
+func (BundleUpdate) NewUpdater(cfg Config) Updater { return bundleUpdater{rate: cfg.AdaptRate} }
+
+type bundleUpdater struct{ rate float64 }
+
+func (u bundleUpdater) Apply(acc []*hdc.Accumulator, class int, hv hdc.Vector, sim float64) {
+	// Similarity-proportional update: the closer the sample already is to
+	// the winning prototype, the more it reinforces it.
+	acc[class].Add(hv, u.rate*simWeight(sim))
+}
+
+func (bundleUpdater) FinishEpoch([]*hdc.Accumulator) {}
+
+// defaultEMAMomentum is the history weight μ of EMAUpdate when Momentum is
+// left zero.
+const defaultEMAMomentum = 0.9
+
+// EMAUpdate is a momentum prototype update in the spirit of MoSSDA's
+// momentum encoder: accepted samples of one epoch are staged into per-class
+// delta accumulators, and at epoch end each touched class accumulator is
+// replaced by μ·acc + Δ, computed entirely on the existing accumulator
+// counters via AddScaled. History decays geometrically, so the target
+// prototypes track the pseudo-label stream instead of being permanently
+// anchored by the earliest (least adapted) epochs.
+type EMAUpdate struct {
+	// Momentum is the history weight μ in (0,1); zero means 0.9.
+	Momentum float64
+}
+
+// Name implements UpdateRule.
+func (EMAUpdate) Name() string { return "ema" }
+
+// NewUpdater implements UpdateRule.
+func (u EMAUpdate) NewUpdater(cfg Config) Updater {
+	mom := u.Momentum
+	if mom == 0 {
+		mom = defaultEMAMomentum
+	}
+	return &emaUpdater{
+		rate:     cfg.AdaptRate,
+		momentum: mom,
+		dim:      cfg.Dim,
+		delta:    make([]*hdc.Accumulator, cfg.Classes),
+		touched:  make([]bool, cfg.Classes),
+	}
+}
+
+type emaUpdater struct {
+	rate     float64
+	momentum float64
+	dim      int
+	delta    []*hdc.Accumulator // per-class epoch staging, lazily allocated
+	touched  []bool
+}
+
+func (u *emaUpdater) Apply(acc []*hdc.Accumulator, class int, hv hdc.Vector, sim float64) {
+	d := u.delta[class]
+	if d == nil {
+		d = hdc.NewAccumulator(u.dim)
+		u.delta[class] = d
+	}
+	d.Add(hv, u.rate*simWeight(sim))
+	u.touched[class] = true
+}
+
+func (u *emaUpdater) FinishEpoch(acc []*hdc.Accumulator) {
+	for c, d := range u.delta {
+		if !u.touched[c] {
+			continue
+		}
+		ema := hdc.NewAccumulator(u.dim)
+		ema.AddScaled(acc[c], u.momentum)
+		ema.AddScaled(d, 1)
+		acc[c] = ema
+		d.Reset()
+		u.touched[c] = false
+	}
+}

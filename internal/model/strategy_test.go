@@ -1,0 +1,376 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// allStrategyCombos enumerates every registered confidence × schedule ×
+// update combination.
+func allStrategyCombos(t *testing.T) []Strategy {
+	t.Helper()
+	var out []Strategy
+	for _, c := range ConfidenceRuleNames() {
+		for _, s := range ScheduleNames() {
+			for _, u := range UpdateRuleNames() {
+				strat, err := ParseStrategy(c, s, u)
+				if err != nil {
+					t.Fatalf("ParseStrategy(%s,%s,%s): %v", c, s, u, err)
+				}
+				out = append(out, strat)
+			}
+		}
+	}
+	return out
+}
+
+func TestStrategyParse(t *testing.T) {
+	def, err := ParseStrategySpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.isDefault() {
+		t.Fatalf("empty spec parsed to %v, want default", def)
+	}
+	if got := def.String(); got != "margin+constant+bundle" {
+		t.Fatalf("default String() = %q", got)
+	}
+	// Every combo's String() must round-trip through ParseStrategySpec.
+	for _, strat := range allStrategyCombos(t) {
+		back, err := ParseStrategySpec(strat.String())
+		if err != nil {
+			t.Fatalf("spec %q did not parse back: %v", strat.String(), err)
+		}
+		if back.String() != strat.String() {
+			t.Fatalf("spec round-trip %q -> %q", strat.String(), back.String())
+		}
+	}
+	for _, spec := range []string{"margin", "a+b", "margin+constant+nope", "x+constant+bundle", "margin+x+bundle"} {
+		if _, err := ParseStrategySpec(spec); !errors.Is(err, ErrUnknownStrategy) {
+			t.Errorf("spec %q: err = %v, want ErrUnknownStrategy", spec, err)
+		}
+	}
+	// Empty piece names select the default piece.
+	s, err := ParseStrategy("", "", "")
+	if err != nil || !s.isDefault() {
+		t.Fatalf("ParseStrategy of empties = %v, %v, want default", s, err)
+	}
+}
+
+// TestStrategyCombosDeterministicAcrossWorkers is the strategy-API
+// determinism contract: for EVERY confidence/schedule/update combination,
+// adapting identically trained ensembles with worker counts 1..64 must end
+// with byte-identical target prototypes and equal stats. Run under -race in
+// CI.
+func TestStrategyCombosDeterministicAcrossWorkers(t *testing.T) {
+	build := func(strat Strategy) (*Ensemble, []hdc.Vector) {
+		rng := testRNG(31)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, err := New(testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetStrategy(strat)
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 15 {
+				targets = append(targets, flip(rng, protos[c], testDim/3))
+			}
+		}
+		return m, targets
+	}
+
+	for _, strat := range allStrategyCombos(t) {
+		t.Run(strat.String(), func(t *testing.T) {
+			ref, targets := build(strat)
+			refStats, err := ref.AdaptBatch(targets, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refStats.PseudoLabels == 0 {
+				t.Fatalf("strategy %s accepted no pseudo-labels on separable targets", strat)
+			}
+			refProt := ref.AdaptedPrototypes()
+			for _, workers := range []int{4, 64} {
+				m, targets := build(strat)
+				stats, err := m.AdaptBatch(targets, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if stats != refStats {
+					t.Fatalf("workers=%d: stats %+v differ from workers=1 %+v", workers, stats, refStats)
+				}
+				prot := m.AdaptedPrototypes()
+				for c := range prot {
+					a, err1 := prot[c].MarshalBinary()
+					b, err2 := refProt[c].MarshalBinary()
+					if err1 != nil || err2 != nil {
+						t.Fatal(err1, err2)
+					}
+					if !bytes.Equal(a, b) {
+						t.Fatalf("workers=%d: class %d prototype not byte-identical to workers=1", workers, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStrategyPersistRoundTrip pins the versioned codec per strategy: the
+// default serializes in the legacy "SME1" layout, every other combination
+// promotes to "SME2", and in both cases the strategy choice plus the model
+// state survive save→load→save canonically.
+func TestStrategyPersistRoundTrip(t *testing.T) {
+	for _, strat := range allStrategyCombos(t) {
+		t.Run(strat.String(), func(t *testing.T) {
+			m, queries := trainedEnsemble(t, 53, false)
+			m.SetStrategy(strat)
+			raw := marshalEnsemble(t, m)
+			wantMagic := ensembleMagicV2
+			if strat.isDefault() {
+				wantMagic = ensembleMagic
+			}
+			if got := string(raw[:4]); got != wantMagic {
+				t.Fatalf("magic %q, want %q for strategy %s", got, wantMagic, strat)
+			}
+			got, err := Decode(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Strategy().String() != strat.String() {
+				t.Fatalf("loaded strategy %s, want %s", got.Strategy(), strat)
+			}
+			for i, q := range queries {
+				if a, b := m.Predict(q), got.Predict(q); a != b {
+					t.Fatalf("query %d: original predicts %d, loaded predicts %d", i, a, b)
+				}
+			}
+			if !bytes.Equal(raw, marshalEnsemble(t, got)) {
+				t.Fatal("load→save is not byte-identical: the codec is not canonical")
+			}
+			// Persistence must be transparent to the strategy-driven loop:
+			// adapting the loaded replica must match adapting the original.
+			var targets []hdc.Vector
+			rng := testRNG(99)
+			protos, _ := cluster(testRNG(53), 4, 1, 0, 0)
+			for c := range 4 {
+				for range 10 {
+					targets = append(targets, flip(rng, protos[c], testDim/3))
+				}
+			}
+			s1, err1 := m.Adapt(targets)
+			s2, err2 := got.Adapt(targets)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if s1 != s2 {
+				t.Fatalf("adapt stats diverged after reload: %+v vs %+v", s1, s2)
+			}
+			if !bytes.Equal(marshalEnsemble(t, m), marshalEnsemble(t, got)) {
+				t.Fatal("adapted state diverged after reload")
+			}
+		})
+	}
+}
+
+// TestStrategyCorruptNames pins the decode-side validation of the SME2
+// strategy section.
+func TestStrategyCorruptNames(t *testing.T) {
+	m, _ := trainedEnsemble(t, 54, false)
+	strat, err := ParseStrategy("entropy", "anneal", "ema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetStrategy(strat)
+	raw := marshalEnsemble(t, m)
+	if string(raw[:4]) != ensembleMagicV2 {
+		t.Fatalf("magic %q, want SME2", raw[:4])
+	}
+	// The first strategy name starts after magic(4) + config(4*4+3*8).
+	nameOff := 4 + 16 + 24
+	corrupt := func(mutate func(b []byte)) error {
+		b := bytes.Clone(raw)
+		mutate(b)
+		_, err := Decode(bytes.NewReader(b))
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[nameOff] = 0xff }); err == nil {
+		t.Error("oversized strategy-name length accepted")
+	}
+	if err := corrupt(func(b []byte) { b[nameOff+4] ^= 0xff }); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("garbled strategy name: err = %v, want ErrUnknownStrategy", err)
+	}
+}
+
+// TestStrategyChangesAcceptedCounts backs the ablation claim: at least one
+// non-default strategy must change which/how many pseudo-labels are
+// accepted relative to the default recipe on the same data.
+func TestStrategyChangesAcceptedCounts(t *testing.T) {
+	run := func(strat Strategy) AdaptStats {
+		rng := testRNG(41)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, err := New(testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetStrategy(strat)
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 15 {
+				targets = append(targets, flip(rng, protos[c], 2*testDim/5))
+			}
+		}
+		stats, err := m.Adapt(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	def := run(DefaultStrategy())
+	anneal, err := ParseStrategySpec("margin+anneal+bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(anneal); got.PseudoLabels == def.PseudoLabels && got.Skipped == def.Skipped {
+		t.Fatalf("anneal schedule accepted exactly the default's counts %+v — the schedule is not plugged in", got)
+	}
+}
+
+// TestEMAUpdateBoundsPrototypeMass pins the semantic difference of the EMA
+// update: under momentum μ the class accumulators are geometric sums, so
+// repeated adaptation cannot grow them without bound the way permanent
+// bundling does.
+func TestEMAUpdateBoundsPrototypeMass(t *testing.T) {
+	ema, err := ParseStrategySpec("margin+constant+ema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(strat Strategy) (*Ensemble, []hdc.Vector) {
+		rng := testRNG(61)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, errN := New(testModelConfig())
+		if errN != nil {
+			t.Fatal(errN)
+		}
+		m.SetStrategy(strat)
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 10 {
+				targets = append(targets, flip(rng, protos[c], testDim/3))
+			}
+		}
+		return m, targets
+	}
+	mass := func(m *Ensemble, targets []hdc.Vector) float64 {
+		for range 6 {
+			if _, err := m.AdaptIncremental(targets, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := 0.0
+		for _, acc := range m.adapted.classAcc {
+			s += accumulatorAbsMass(t, acc)
+		}
+		return s
+	}
+	mDef, tgtDef := build(DefaultStrategy())
+	mEMA, tgtEMA := build(ema)
+	if md, me := mass(mDef, tgtDef), mass(mEMA, tgtEMA); me >= md {
+		t.Fatalf("EMA accumulator mass %.0f not below permanent bundling's %.0f after repeated adaptation", me, md)
+	}
+}
+
+// accumulatorAbsMass sums |counter| over an accumulator's marshaled int32
+// fixed-point counters (header layout: see hdc.Accumulator.MarshalBinary).
+func accumulatorAbsMass(t *testing.T, acc *hdc.Accumulator) float64 {
+	t.Helper()
+	b, err := acc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the header: magic(4) + dim(4); counters follow as int32 LE.
+	s := 0.0
+	for off := 8; off+4 <= len(b); off += 4 {
+		v := int32(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// TestEntropyConfidenceAssess pins the rule's shape: peaked score vectors
+// are confident, uniform ones are not, and -Inf/NaN scores are ignored.
+func TestEntropyConfidenceAssess(t *testing.T) {
+	r := EntropyConfidence{}
+	clsPeaked, confPeaked, _ := r.Assess([]float64{0.9, -0.8, -0.9, -0.85})
+	if clsPeaked != 0 {
+		t.Fatalf("peaked vector classified as %d", clsPeaked)
+	}
+	_, confFlat, _ := r.Assess([]float64{0.01, 0.01, 0.01, 0.01})
+	if confPeaked <= confFlat {
+		t.Fatalf("peaked conf %.4f not above uniform conf %.4f", confPeaked, confFlat)
+	}
+	if confFlat < 0 || confFlat > 1e-9 {
+		t.Fatalf("uniform conf = %.6g, want ~0", confFlat)
+	}
+	cls, conf, _ := r.Assess([]float64{math.Inf(-1), 0.9, math.NaN(), -0.9})
+	if cls != 1 {
+		t.Fatalf("class %d with -Inf/NaN entries, want 1", cls)
+	}
+	if conf <= 0 || conf > 1 {
+		t.Fatalf("conf %.4f out of (0,1] with non-finite entries", conf)
+	}
+	// Single finite class: no distribution to measure, maximally confident.
+	if _, c, _ := r.Assess([]float64{math.Inf(-1), 0.5}); c != 1 {
+		t.Fatalf("single finite class conf = %.4f, want 1", c)
+	}
+}
+
+// TestAnnealScheduleShape pins the schedule endpoints: strict start, the
+// configured threshold/TopFrac by the final epoch.
+func TestAnnealScheduleShape(t *testing.T) {
+	cfg := testModelConfig()
+	cfg.TopFrac = 0.4
+	s := AnnealSchedule{}
+	th0, top0 := s.Epoch(0, 5, cfg)
+	if want := cfg.Confidence * annealStartFactor; math.Abs(th0-want) > 1e-12 {
+		t.Fatalf("epoch 0 threshold %.6f, want %.6f", th0, want)
+	}
+	if want := cfg.TopFrac / 2; math.Abs(top0-want) > 1e-12 {
+		t.Fatalf("epoch 0 topFrac %.3f, want %.3f", top0, want)
+	}
+	thN, topN := s.Epoch(4, 5, cfg)
+	if math.Abs(thN-cfg.Confidence) > 1e-12 || math.Abs(topN-cfg.TopFrac) > 1e-12 {
+		t.Fatalf("final epoch = (%.6f, %.3f), want (%.6f, %.3f)", thN, topN, cfg.Confidence, cfg.TopFrac)
+	}
+	// A single-epoch run must use the fully relaxed values.
+	th1, top1 := s.Epoch(0, 1, cfg)
+	if th1 != cfg.Confidence || top1 != cfg.TopFrac {
+		t.Fatalf("single-epoch schedule = (%.6f, %.3f), want configured values", th1, top1)
+	}
+}
+
+func TestErrInvalidConfigTyped(t *testing.T) {
+	cfg := testModelConfig()
+	cfg.Classes = 1
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Validate err = %v, want ErrInvalidConfig", err)
+	}
+	cfg = testModelConfig()
+	cfg.Dim = 7
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("dim Validate err = %v, want ErrInvalidConfig", err)
+	}
+}

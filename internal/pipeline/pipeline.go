@@ -22,8 +22,9 @@ type Config struct {
 	Encoder   encode.Config
 	Model     model.Config
 	Data      data.Config
-	TrainFrac float64 // fraction of each source domain used for training
-	Workers   int     // worker-pool size for batch stages; <= 0 means GOMAXPROCS
+	Strategy  model.Strategy // adaptation recipe; zero value = the paper's default
+	TrainFrac float64        // fraction of each source domain used for training
+	Workers   int            // worker-pool size for batch stages; <= 0 means GOMAXPROCS
 }
 
 // Result summarizes one pipeline run.
@@ -83,6 +84,7 @@ func Train(cfg Config) (*Artifacts, error) {
 	if err != nil {
 		return nil, err
 	}
+	mdl.SetStrategy(cfg.Strategy)
 	return prepare(cfg, mdl, true)
 }
 

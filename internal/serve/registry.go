@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"regexp"
@@ -57,12 +58,25 @@ func (inst *instance) close(ctx context.Context) error {
 // modelInfo is one registry entry's identity and state, for /v1/models and
 // the labeled /metrics series.
 type modelInfo struct {
-	Name    string       `json:"name"`
-	Adapted bool         `json:"adapted"`
-	Dim     int          `json:"dim"`
-	Classes int          `json:"classes"`
-	Sensors int          `json:"sensors"`
-	Stream  stream.Stats `json:"stream"`
+	Name     string       `json:"name"`
+	Adapted  bool         `json:"adapted"`
+	Dim      int          `json:"dim"`
+	Classes  int          `json:"classes"`
+	Sensors  int          `json:"sensors"`
+	Strategy string       `json:"strategy"`
+	Stream   stream.Stats `json:"stream"`
+}
+
+// bundleErrCode picks the stable error code for a rejected bundle from the
+// model package's typed errors — no string matching.
+func bundleErrCode(err error) string {
+	switch {
+	case errors.Is(err, model.ErrInvalidConfig):
+		return codeInvalidConfig
+	case errors.Is(err, model.ErrUnknownStrategy):
+		return codeUnknownStrategy
+	}
+	return codeInvalidBundle
 }
 
 // registry holds the named instances. All map and LRU-clock access is under
@@ -132,13 +146,13 @@ func (g *registry) newInstance(name string, b *pipeline.Bundle) (*instance, erro
 // is a 400, an unknown one a 404.
 func (g *registry) get(name string) (*instance, error) {
 	if !modelName.MatchString(name) {
-		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+		return nil, &httpError{http.StatusBadRequest, codeInvalidModelName, fmt.Sprintf("invalid model name %q", name)}
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	inst, ok := g.models[name]
 	if !ok {
-		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("model %q not found", name)}
+		return nil, &httpError{http.StatusNotFound, codeModelNotFound, fmt.Sprintf("model %q not found", name)}
 	}
 	g.clock++
 	inst.lastUsed = g.clock
@@ -154,11 +168,11 @@ func (g *registry) get(name string) (*instance, error) {
 // any, was evicted.
 func (g *registry) upsert(name string, b *pipeline.Bundle) (swapped bool, evicted string, err error) {
 	if !modelName.MatchString(name) {
-		return false, "", &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+		return false, "", &httpError{http.StatusBadRequest, codeInvalidModelName, fmt.Sprintf("invalid model name %q", name)}
 	}
 	inst, err := g.newInstance(name, b)
 	if err != nil {
-		return false, "", &httpError{http.StatusBadRequest, err.Error()}
+		return false, "", &httpError{http.StatusBadRequest, bundleErrCode(err), err.Error()}
 	}
 	var retired []*instance
 	g.mu.Lock()
@@ -171,7 +185,7 @@ func (g *registry) upsert(name string, b *pipeline.Bundle) (swapped bool, evicte
 			g.mu.Unlock()
 			// The new instance never entered the registry; stop its worker.
 			go g.retire([]*instance{inst})
-			return false, "", &httpError{http.StatusConflict,
+			return false, "", &httpError{http.StatusConflict, codeRegistryFull,
 				fmt.Sprintf("registry full (%d models) and nothing evictable", g.opt.MaxModels)}
 		}
 		evicted = victim.name
@@ -225,10 +239,10 @@ func (g *registry) lruVictimLocked() *instance {
 // stream queue is drained in the background like an eviction.
 func (g *registry) remove(name string) error {
 	if !modelName.MatchString(name) {
-		return &httpError{http.StatusBadRequest, fmt.Sprintf("invalid model name %q", name)}
+		return &httpError{http.StatusBadRequest, codeInvalidModelName, fmt.Sprintf("invalid model name %q", name)}
 	}
 	if name == DefaultModel {
-		return &httpError{http.StatusConflict, "the default model cannot be deleted (upload to hot-swap it)"}
+		return &httpError{http.StatusConflict, codeDefaultPinned, "the default model cannot be deleted (upload to hot-swap it)"}
 	}
 	g.mu.Lock()
 	inst, ok := g.models[name]
@@ -237,7 +251,7 @@ func (g *registry) remove(name string) error {
 	}
 	g.mu.Unlock()
 	if !ok {
-		return &httpError{http.StatusNotFound, fmt.Sprintf("model %q not found", name)}
+		return &httpError{http.StatusNotFound, codeModelNotFound, fmt.Sprintf("model %q not found", name)}
 	}
 	go g.retire([]*instance{inst})
 	g.met.deletes.Add(1)
@@ -274,12 +288,13 @@ func (g *registry) infos() []modelInfo {
 		snap := inst.model.Snapshot()
 		cfg := snap.Config()
 		out = append(out, modelInfo{
-			Name:    inst.name,
-			Adapted: snap.Adapted(),
-			Dim:     cfg.Dim,
-			Classes: cfg.Classes,
-			Sensors: inst.encfg.Sensors,
-			Stream:  inst.stream.Stats(),
+			Name:     inst.name,
+			Adapted:  snap.Adapted(),
+			Dim:      cfg.Dim,
+			Classes:  cfg.Classes,
+			Sensors:  inst.encfg.Sensors,
+			Strategy: inst.model.Strategy().String(),
+			Stream:   inst.stream.Stats(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -193,6 +193,11 @@ type predictRequest struct {
 	// SourceOnly predicts with the source ensemble even when an adapted
 	// target model exists (the no-adapt baseline).
 	SourceOnly bool `json:"source_only,omitempty"`
+	// Strategy selects the adaptation recipe for this request as a
+	// "confidence+schedule+update" spec (adapt and stream/adapt routes
+	// only; prediction doesn't adapt, so predict rejects it). Empty keeps
+	// the model's current strategy.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 type predictResponse struct {
@@ -201,17 +206,56 @@ type predictResponse struct {
 }
 
 type adaptResponse struct {
-	Stats   model.AdaptStats `json:"stats"`
-	Adapted bool             `json:"adapted"`
+	Stats    model.AdaptStats `json:"stats"`
+	Adapted  bool             `json:"adapted"`
+	Strategy string           `json:"strategy"`
 }
 
-// httpError carries a status code out of a handler stage.
+// Stable machine-readable error codes, one per distinct failure the API can
+// render in its error envelope. Codes are part of the API contract: clients
+// switch on them instead of parsing messages, so existing codes must never
+// be renamed.
+const (
+	codeInvalidJSON      = "invalid_json"       // body is not valid JSON
+	codeTrailingData     = "trailing_data"      // bytes after the JSON/bundle body
+	codeBodyTooLarge     = "body_too_large"     // body exceeds MaxBody
+	codeEmptyBatch       = "empty_batch"        // no windows in request
+	codeBatchTooLarge    = "batch_too_large"    // more windows than MaxBatch/queue capacity
+	codeBadWindow        = "bad_window"         // window shape the encoder rejects
+	codeInvalidTargets   = "invalid_targets"    // adapt batch the model rejects
+	codeNotTrained       = "not_trained"        // model has no trained source domains
+	codeUnknownStrategy  = "unknown_strategy"   // unregistered adaptation-strategy spec
+	codeInvalidConfig    = "invalid_config"     // bundle carries an invalid model config
+	codeInvalidBundle    = "invalid_bundle"     // undecodable/untrained bundle payload
+	codeQueueFull        = "queue_full"         // transient streaming backpressure
+	codeDraining         = "draining"           // shutdown in progress
+	codeInvalidModelName = "invalid_model_name" // malformed registry name
+	codeModelNotFound    = "model_not_found"    // unknown registry name
+	codeRegistryFull     = "registry_full"      // MaxModels reached, nothing evictable
+	codeDefaultPinned    = "default_pinned"     // DELETE on the pinned default model
+	codeInternal         = "internal"           // unclassified server fault
+)
+
+// httpError carries a status code and a stable machine-readable error code
+// out of a handler stage.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// errorEnvelope is the uniform error body every route renders:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
 
 func errStatus(err error) int {
 	var he *httpError
@@ -219,6 +263,14 @@ func errStatus(err error) int {
 		return he.status
 	}
 	return http.StatusInternalServerError
+}
+
+func errCode(err error) string {
+	var he *httpError
+	if errors.As(err, &he) && he.code != "" {
+		return he.code
+	}
+	return codeInternal
 }
 
 // decodeWindows parses and bounds a JSON windows request. The body must be
@@ -232,22 +284,22 @@ func (s *Server) decodeWindows(w http.ResponseWriter, r *http.Request, req *pred
 	if err := dec.Decode(req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+			return &httpError{http.StatusRequestEntityTooLarge, codeBodyTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
 		}
-		return &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()}
+		return &httpError{http.StatusBadRequest, codeInvalidJSON, "invalid JSON: " + err.Error()}
 	}
 	if _, err := dec.Token(); err != io.EOF {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+			return &httpError{http.StatusRequestEntityTooLarge, codeBodyTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
 		}
-		return &httpError{http.StatusBadRequest, "trailing data after JSON body"}
+		return &httpError{http.StatusBadRequest, codeTrailingData, "trailing data after JSON body"}
 	}
 	if len(req.Windows) == 0 {
-		return &httpError{http.StatusBadRequest, "no windows in request"}
+		return &httpError{http.StatusBadRequest, codeEmptyBatch, "no windows in request"}
 	}
 	if len(req.Windows) > s.opt.MaxBatch {
-		return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d windows exceeds maximum %d", len(req.Windows), s.opt.MaxBatch)}
+		return &httpError{http.StatusRequestEntityTooLarge, codeBatchTooLarge, fmt.Sprintf("batch of %d windows exceeds maximum %d", len(req.Windows), s.opt.MaxBatch)}
 	}
 	return nil
 }
@@ -274,7 +326,7 @@ func (s *Server) encodeWindows(inst *instance, ws [][][]float64) ([]hdc.Vector, 
 	defer s.met.stage("encode")()
 	hvs, err := inst.enc.EncodeBatch(ws, s.opt.Workers)
 	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, err.Error()}
+		return nil, &httpError{http.StatusBadRequest, codeBadWindow, err.Error()}
 	}
 	return hvs, nil
 }
@@ -286,6 +338,10 @@ func (s *Server) predict(inst *instance, w *responseRecorder, r *http.Request) e
 	var req predictRequest
 	if err := s.decodeWindows(w, r, &req); err != nil {
 		return err
+	}
+	if req.Strategy != "" {
+		return &httpError{http.StatusBadRequest, codeUnknownStrategy,
+			"prediction does not adapt; \"strategy\" is only accepted on the adapt and stream/adapt routes"}
 	}
 	hvs, err := s.encodeWindows(inst, req.Windows)
 	if err != nil {
@@ -304,9 +360,26 @@ func (s *Server) predict(inst *instance, w *responseRecorder, r *http.Request) e
 	return writeJSON(w, http.StatusOK, predictResponse{Predictions: preds, Adapted: adapted})
 }
 
+// parseStrategy resolves a request's optional strategy spec, mapping an
+// unregistered name to a 400. ok reports whether the request selected one.
+func parseStrategy(spec string) (strat model.Strategy, ok bool, err error) {
+	if spec == "" {
+		return model.Strategy{}, false, nil
+	}
+	strat, perr := model.ParseStrategySpec(spec)
+	if perr != nil {
+		return model.Strategy{}, false, &httpError{http.StatusBadRequest, codeUnknownStrategy, perr.Error()}
+	}
+	return strat, true, nil
+}
+
 func (s *Server) adapt(inst *instance, w *responseRecorder, r *http.Request) error {
 	var req predictRequest
 	if err := s.decodeWindows(w, r, &req); err != nil {
+		return err
+	}
+	strat, setStrat, err := parseStrategy(req.Strategy)
+	if err != nil {
 		return err
 	}
 	hvs, err := s.encodeWindows(inst, req.Windows)
@@ -315,14 +388,21 @@ func (s *Server) adapt(inst *instance, w *responseRecorder, r *http.Request) err
 	}
 	done := s.met.stage("adapt")
 	inst.mu.Lock()
+	// Installing the strategy inside the same critical section as the fold
+	// pairs them atomically: concurrent adapts with different strategies
+	// each fold under their own.
+	if setStrat {
+		inst.model.SetStrategy(strat)
+	}
 	stats, aerr := inst.model.AdaptIncremental(hvs, s.opt.Workers)
 	adapted := inst.model.Adapted()
+	used := inst.model.Strategy().String()
 	inst.mu.Unlock()
 	done()
 	if aerr != nil {
 		return adaptError(aerr)
 	}
-	return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted})
+	return writeJSON(w, http.StatusOK, adaptResponse{Stats: stats, Adapted: adapted, Strategy: used})
 }
 
 // adaptError maps an adaptation failure to the right HTTP status: inputs
@@ -332,11 +412,11 @@ func (s *Server) adapt(inst *instance, w *responseRecorder, r *http.Request) err
 func adaptError(err error) *httpError {
 	switch {
 	case errors.Is(err, model.ErrInvalidTargets):
-		return &httpError{http.StatusBadRequest, err.Error()}
+		return &httpError{http.StatusBadRequest, codeInvalidTargets, err.Error()}
 	case errors.Is(err, model.ErrNotTrained):
-		return &httpError{http.StatusConflict, err.Error()}
+		return &httpError{http.StatusConflict, codeNotTrained, err.Error()}
 	default:
-		return &httpError{http.StatusInternalServerError, err.Error()}
+		return &httpError{http.StatusInternalServerError, codeInternal, err.Error()}
 	}
 }
 
@@ -355,12 +435,12 @@ type streamAdaptResponse struct {
 func (inst *instance) validateWindows(ws [][][]float64) error {
 	for i, win := range ws {
 		if len(win) < inst.encfg.NGram {
-			return &httpError{http.StatusBadRequest,
+			return &httpError{http.StatusBadRequest, codeBadWindow,
 				fmt.Sprintf("window %d has %d timesteps, need at least %d (the n-gram length)", i, len(win), inst.encfg.NGram)}
 		}
 		for t, row := range win {
 			if len(row) != inst.encfg.Sensors {
-				return &httpError{http.StatusBadRequest,
+				return &httpError{http.StatusBadRequest, codeBadWindow,
 					fmt.Sprintf("window %d timestep %d has %d sensors, want %d", i, t, len(row), inst.encfg.Sensors)}
 			}
 		}
@@ -378,6 +458,10 @@ func (s *Server) streamAdapt(inst *instance, w *responseRecorder, r *http.Reques
 	if err := s.decodeWindows(w, r, &req); err != nil {
 		return err
 	}
+	strat, setStrat, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return err
+	}
 	if err := inst.validateWindows(req.Windows); err != nil {
 		return err
 	}
@@ -385,18 +469,25 @@ func (s *Server) streamAdapt(inst *instance, w *responseRecorder, r *http.Reques
 	// ("retry later") would send a well-behaved client into an infinite
 	// retry loop; reject it terminally instead.
 	if len(req.Windows) > s.opt.StreamQueue {
-		return &httpError{http.StatusRequestEntityTooLarge,
+		return &httpError{http.StatusRequestEntityTooLarge, codeBatchTooLarge,
 			fmt.Sprintf("batch of %d windows exceeds stream queue capacity %d", len(req.Windows), s.opt.StreamQueue)}
+	}
+	// The background worker folds coalesced batches under the model's
+	// current strategy, so a request's strategy takes effect for its own
+	// windows and everything folded after them — until another request
+	// selects a different one.
+	if setStrat {
+		inst.model.SetStrategy(strat)
 	}
 	depth, err := inst.stream.Enqueue(req.Windows)
 	switch {
 	case errors.Is(err, stream.ErrQueueFull):
-		return &httpError{http.StatusTooManyRequests,
+		return &httpError{http.StatusTooManyRequests, codeQueueFull,
 			fmt.Sprintf("stream queue full (%d of %d windows queued); retry later", depth, s.opt.StreamQueue)}
 	case errors.Is(err, stream.ErrClosed):
-		return &httpError{http.StatusServiceUnavailable, "server is draining; stream ingest closed"}
+		return &httpError{http.StatusServiceUnavailable, codeDraining, "server is draining; stream ingest closed"}
 	case err != nil:
-		return &httpError{http.StatusBadRequest, err.Error()}
+		return &httpError{http.StatusBadRequest, codeBadWindow, err.Error()}
 	}
 	return writeJSON(w, http.StatusAccepted, streamAdaptResponse{Accepted: len(req.Windows), QueueDepth: depth})
 }
@@ -453,12 +544,20 @@ func (s *Server) uploadModel(w *responseRecorder, r *http.Request) error {
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				return nil, &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
+				return nil, &httpError{http.StatusRequestEntityTooLarge, codeBodyTooLarge, fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBody)}
 			}
-			return nil, &httpError{http.StatusBadRequest, err.Error()}
+			// Typed model errors pick the precise code; no string matching.
+			code := codeInvalidBundle
+			switch {
+			case errors.Is(err, model.ErrInvalidConfig):
+				code = codeInvalidConfig
+			case errors.Is(err, model.ErrUnknownStrategy):
+				code = codeUnknownStrategy
+			}
+			return nil, &httpError{http.StatusBadRequest, code, err.Error()}
 		}
 		if n, _ := io.Copy(io.Discard, body); n != 0 {
-			return nil, &httpError{http.StatusBadRequest, "trailing bytes after bundle payload"}
+			return nil, &httpError{http.StatusBadRequest, codeTrailingData, "trailing bytes after bundle payload"}
 		}
 		return b, nil
 	}()
@@ -486,14 +585,16 @@ func (s *Server) deleteModel(w *responseRecorder, r *http.Request) error {
 }
 
 func (s *Server) healthz(w *responseRecorder, r *http.Request) error {
-	snap := s.reg.def.Load().model.Snapshot()
+	def := s.reg.def.Load()
+	snap := def.model.Snapshot()
 	cfg := snap.Config()
 	return writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"adapted": snap.Adapted(),
-		"dim":     cfg.Dim,
-		"classes": cfg.Classes,
-		"models":  len(s.reg.infos()),
+		"status":   "ok",
+		"adapted":  snap.Adapted(),
+		"dim":      cfg.Dim,
+		"classes":  cfg.Classes,
+		"strategy": def.model.Strategy().String(),
+		"models":   len(s.reg.infos()),
 	})
 }
 
@@ -526,9 +627,9 @@ func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 	s.finish(w, "metrics", start, ew.err)
 }
 
-// finish records metrics for a request and renders the error — unless a
-// response was already committed (then the error, typically a failed body
-// write to a gone client, is only counted).
+// finish records metrics for a request and renders the error in the
+// uniform envelope — unless a response was already committed (then the
+// error, typically a failed body write to a gone client, is only counted).
 func (s *Server) finish(w *responseRecorder, endpoint string, start time.Time, err error) {
 	s.met.observeRequest(endpoint, start, err != nil)
 	if err == nil || w.wrote {
@@ -536,7 +637,7 @@ func (s *Server) finish(w *responseRecorder, endpoint string, start time.Time, e
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(errStatus(err))
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // nothing left to do on a failed error write
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: errCode(err), Message: err.Error()}}) //nolint:errcheck // nothing left to do on a failed error write
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) error {

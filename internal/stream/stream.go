@@ -282,9 +282,7 @@ func (a *Adapter) runOnce(wait bool) bool {
 	default:
 		a.stats.BatchesFolded++
 		a.stats.WindowsFolded += int64(n)
-		a.stats.Adapt.Epochs += stats.Epochs
-		a.stats.Adapt.PseudoLabels += stats.PseudoLabels
-		a.stats.Adapt.Skipped += stats.Skipped
+		a.stats.Adapt.Accumulate(stats)
 		// A transient failure must not be reported forever: the sticky
 		// last-error clears on the next clean fold (the cumulative error
 		// counters keep the history).

@@ -9,7 +9,10 @@
 # backpressure and SIGTERM graceful shutdown. Finally exercise the model
 # registry: upload a second named bundle, round-trip it byte-identically,
 # predict against it, hot-swap it, and push past -max-models to watch the
-# LRU eviction. Used by `make e2e` and CI.
+# LRU eviction. Along the way, error responses are checked against the
+# uniform {"error":{"code","message"}} envelope, and a per-request
+# adaptation strategy is installed, listed, and round-tripped through an
+# SME2 bundle export/upload. Used by `make e2e` and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,10 +65,13 @@ curl -fsS "http://$ADDR/metrics" | grep >/dev/null 'smore_requests_total{endpoin
 curl -fsS "http://$ADDR/metrics" | grep >/dev/null 'smore_requests_total{endpoint="metrics"} 1' \
   || fail "metrics did not count its own scrapes"
 
-# A body with trailing garbage after the JSON object must be rejected.
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+# A body with trailing garbage after the JSON object must be rejected, in
+# the uniform error envelope with its stable machine code.
+code=$(curl -s -o "$tmp/err_trailing.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
   -d "${body}garbage" "http://$ADDR/v1/predict")
 [ "$code" = "400" ] || fail "trailing-garbage body returned $code, want 400"
+grep -q '"error":{"code":"trailing_data"' "$tmp/err_trailing.json" \
+  || fail "trailing-garbage error is not the {\"error\":{\"code\",\"message\"}} envelope: $(cat "$tmp/err_trailing.json")"
 
 # The loaded bundle must also re-evaluate identically through the CLI.
 "$tmp/smore" -dim 512 -sensors 2 -classes 3 -window 16 -per-class 8 -seed 7 \
@@ -151,9 +157,11 @@ TINY_ADDR="${SMORE_E2E_TINY_ADDR:-127.0.0.1:8793}"
 tiny_pid=$!
 pids+=("$tiny_pid")
 wait_healthz "$TINY_ADDR" "$tiny_pid"
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+code=$(curl -s -o "$tmp/err_tiny.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
   --data-binary "@$tmp/target.windows.json" "http://$TINY_ADDR/v1/stream/adapt")
 [ "$code" = "413" ] || fail "never-fitting stream batch returned $code, want 413"
+grep -q '"error":{"code":"batch_too_large"' "$tmp/err_tiny.json" \
+  || fail "never-fitting stream batch missing its envelope code: $(cat "$tmp/err_tiny.json")"
 curl -fsS "http://$TINY_ADDR/v1/stream/stats" | grep >/dev/null '"enqueued_total":0' \
   || fail "rejected batch must not be partially enqueued"
 
@@ -201,9 +209,12 @@ grep -q '"evicted":"alt"' "$tmp/other_up.json" || fail "over-cap upload did not 
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/models/alt")
 [ "$code" = "404" ] || fail "evicted model still answers $code, want 404"
 
-# The default model is pinned: DELETE answers 409; a named delete frees it.
-code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/models/default")
+# The default model is pinned: DELETE answers 409 with its stable machine
+# code; a named delete frees it.
+code=$(curl -s -o "$tmp/err_pinned.json" -w '%{http_code}' -X DELETE "http://$ADDR/v1/models/default")
 [ "$code" = "409" ] || fail "deleting the default model returned $code, want 409"
+grep -q '"error":{"code":"default_pinned"' "$tmp/err_pinned.json" \
+  || fail "pinned-default delete missing its envelope code: $(cat "$tmp/err_pinned.json")"
 
 curl -fsS "http://$ADDR/metrics" >"$tmp/metrics.txt"
 for want in 'smore_models 2' 'smore_model_uploads_total 3' \
@@ -217,6 +228,38 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/models/
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/models/other")
 [ "$code" = "404" ] || fail "deleted model still answers $code, want 404"
 echo "e2e: registry upload/round-trip, hot swap, LRU eviction, delete OK"
+
+# --- adaptation strategies ---------------------------------------------------
+# A per-request strategy is applied to the fold, reported in the response,
+# and sticks on the model, so the registry listing shows it.
+strat='entropy+constant+bundle'
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"windows\":[[[0.1,-0.2],[0.3,0.4],[0.0,1.1],[0.5,-0.5]]],\"strategy\":\"$strat\"}" \
+  "http://$ADDR/v1/adapt" | grep >/dev/null "\"strategy\":\"$strat\"" \
+  || fail "adapt did not report the requested strategy"
+curl -fsS "http://$ADDR/v1/models" | grep >/dev/null "\"strategy\":\"$strat\"" \
+  || fail "registry listing does not show the installed strategy"
+
+# An unregistered spec is a 400 with its stable code, before any fold.
+code=$(curl -s -o "$tmp/err_strat.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "{\"windows\":[[[0.1,-0.2],[0.3,0.4],[0.0,1.1],[0.5,-0.5]]],\"strategy\":\"margin+constant+nope\"}" \
+  "http://$ADDR/v1/adapt")
+[ "$code" = "400" ] || fail "unknown strategy returned $code, want 400"
+grep -q '"error":{"code":"unknown_strategy"' "$tmp/err_strat.json" \
+  || fail "unknown-strategy error missing its envelope code: $(cat "$tmp/err_strat.json")"
+
+# A non-default strategy rides inside the bundle (SME2) through the
+# export/upload cycle and shows up on the re-served model.
+curl -fsS "http://$ADDR/v1/model" -o "$tmp/strat.smore"
+# The ensemble payload starts after the 44-byte SMB1 bundle header.
+[ "$(tail -c +45 "$tmp/strat.smore" | head -c 4)" = "SME2" ] \
+  || fail "non-default strategy did not export as an SME2 bundle"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary "@$tmp/strat.smore" "http://$ADDR/v1/models/strat")
+[ "$code" = "201" ] || fail "SME2 upload returned $code, want 201"
+n=$(curl -fsS "http://$ADDR/v1/models" | grep -o "\"strategy\":\"$strat\"" | wc -l)
+[ "$n" -eq 2 ] || fail "SME2 strategy did not survive the upload round trip ($n of 2 listings)"
+echo "e2e: error envelope, per-request strategy, SME2 round trip OK"
 
 # SIGTERM must drain cleanly: both servers exit 0.
 kill -TERM "$stream_pid" "$tiny_pid"
