@@ -14,7 +14,7 @@ FUZZPKG ?= ./internal/hdc
 FUZZ ?= FuzzVectorRoundTrip
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json lint fuzz fmt vet demo serve e2e ablate-smoke clean
+.PHONY: build test race bench bench-json lint fuzz fmt fmt-check vet vet-smore demo serve e2e ablate-smoke clean
 
 build:
 	$(GO) build ./...
@@ -46,19 +46,36 @@ bench-json:
 		| tee bench_raw.txt \
 		| $(GO) run ./cmd/benchjson -out BENCH_new.json -baseline $(BENCH_BASELINE) -max-regress $(MAX_REGRESS)
 
-# lint mirrors the CI lint job. Install the analyzers once, at the same
-# pinned versions CI uses (keep in sync with .github/workflows/ci.yml):
-#   $(GO) install honnef.co/go/tools/cmd/staticcheck@2025.1
-#   $(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.3
+# lint mirrors the CI lint job. The analyzer versions are pinned once, by
+# the `tool` directives in tools/go.mod; `go install tool` builds exactly
+# those versions into ./bin. The tidy fills in tools/go.sum on first run
+# (the sum file is not committed; see tools/go.mod).
 lint:
-	staticcheck ./...
-	govulncheck ./...
+	cd tools && $(GO) mod tidy
+	cd tools && GOBIN=$(CURDIR)/bin $(GO) install tool
+	./bin/staticcheck ./...
+	./bin/govulncheck ./...
+
+# vet-smore runs the repo's own analyzer suite (cmd/smorevet) as a vet
+# tool: lockdiscipline, hotpath, errenvelope, and atomicsnap mechanically
+# enforce the concurrency, hot-path, and error-envelope invariants the
+# package docs promise. See cmd/smorevet for the diagnostics and the
+# //smorevet:allow suppression syntax.
+vet-smore:
+	$(GO) build -o bin/smorevet ./cmd/smorevet
+	$(GO) vet -vettool=$(CURDIR)/bin/smorevet ./...
 
 fuzz:
 	$(GO) test $(FUZZPKG) -run '^$$' -fuzz '$(FUZZ)$$' -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -l -w .
+
+# fmt-check fails (listing the offenders) instead of rewriting; CI's lint
+# job runs this so unformatted files cannot land.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...

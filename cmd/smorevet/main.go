@@ -1,0 +1,36 @@
+// Command smorevet is the repo's project-specific vet tool: four analyzers
+// that mechanically enforce the serving invariants the reviews keep
+// re-litigating — lock discipline around the model/registry/stream
+// mutexes, the //smore:hotpath zero-allocation contract, the serve error
+// envelope, and atomic.Pointer snapshot immutability.
+//
+// Run it through the go command, which feeds it one compilation unit at a
+// time with full type information:
+//
+//	make vet-smore
+//	# equivalently
+//	go build -o bin/smorevet ./cmd/smorevet
+//	go vet -vettool=$PWD/bin/smorevet ./...
+//
+// Pass -<analyzer> flags to narrow the run (e.g. `go vet
+// -vettool=$PWD/bin/smorevet -hotpath ./internal/model`), and suppress an
+// individual finding with a justified
+// `//smorevet:allow <analyzer> -- <reason>` comment on or above the line.
+package main
+
+import (
+	"go-arxiv/smore/internal/lint/atomicsnap"
+	"go-arxiv/smore/internal/lint/errenvelope"
+	"go-arxiv/smore/internal/lint/hotpath"
+	"go-arxiv/smore/internal/lint/lockdiscipline"
+	"go-arxiv/smore/internal/lint/unit"
+)
+
+func main() {
+	unit.Main(
+		lockdiscipline.Analyzer,
+		hotpath.Analyzer,
+		errenvelope.Analyzer,
+		atomicsnap.Analyzer,
+	)
+}

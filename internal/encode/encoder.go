@@ -204,6 +204,8 @@ func (e *Encoder) Encode(window [][]float64) (hdc.Vector, error) {
 // therefore costs O(1) vector ops regardless of NGram, instead of the
 // NGram permute+bind passes of the direct product, and the bits are
 // identical because every operation is exact.
+//
+//smore:hotpath
 func (e *Encoder) EncodeInto(sc *Scratch, window [][]float64, dst *hdc.Vector) error {
 	c := e.cfg
 	if len(window) < c.NGram {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Accumulator is a signed per-bit counter used to bundle hypervectors and to
@@ -59,19 +60,51 @@ const (
 
 // tieCache memoizes the per-dimension tie-break words: bit i of the mask is
 // splitmix64(i) & 1, the same deterministic pseudo-random vote the scalar
-// implementation used, so tie behavior is stable across releases.
-var tieCache sync.Map // int -> []uint64
+// implementation used, so tie behavior is stable across releases. It is a
+// copy-on-write map behind an atomic pointer rather than a sync.Map so the
+// hit path is a plain int-keyed lookup with no key boxing — BundleRowsInto
+// consults it on every call.
+var (
+	tieCacheMu sync.Mutex                       // serializes cache misses
+	tieCache   atomic.Pointer[map[int][]uint64] // read-only once published
+)
 
 func tieWords(dim int) []uint64 {
-	if w, ok := tieCache.Load(dim); ok {
-		return w.([]uint64)
+	var w []uint64
+	if m := tieCache.Load(); m != nil {
+		w = (*m)[dim]
+	}
+	if w == nil {
+		return tieWordsSlow(dim)
+	}
+	return w
+}
+
+// tieWordsSlow computes and publishes the tie words for a dimension seen for
+// the first time. The whole map is re-copied under tieCacheMu so readers
+// never see a map being written; distinct dimensions are few, so the copy is
+// trivially cheap.
+func tieWordsSlow(dim int) []uint64 {
+	tieCacheMu.Lock()
+	defer tieCacheMu.Unlock()
+	if m := tieCache.Load(); m != nil {
+		if w, ok := (*m)[dim]; ok {
+			return w
+		}
 	}
 	words := make([]uint64, dim/WordBits)
 	for i := range dim {
 		words[i/WordBits] |= (splitmix64(uint64(i)) & 1) << (i % WordBits)
 	}
-	w, _ := tieCache.LoadOrStore(dim, words)
-	return w.([]uint64)
+	next := make(map[int][]uint64)
+	if m := tieCache.Load(); m != nil {
+		for k, v := range *m {
+			next[k] = v
+		}
+	}
+	next[dim] = words
+	tieCache.Store(&next)
+	return words
 }
 
 // NewAccumulator returns an empty accumulator of the given dimension.
@@ -282,6 +315,8 @@ func (a *Accumulator) Majority() Vector {
 
 // MajorityInto is Majority writing into a caller-owned vector of the same
 // dimension, so hot paths can binarize without allocating.
+//
+//smore:hotpath
 func (a *Accumulator) MajorityInto(v *Vector) {
 	if v.dim != a.dim {
 		panic("hdc: accumulator dimension mismatch")

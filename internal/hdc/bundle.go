@@ -15,6 +15,8 @@ const BundleRowsMax = 15
 // generic four-plane ripple. This is the spatial-encoding kernel behind
 // Encode's per-timestep bundle. dst must match the inputs' dimension; it
 // may alias one of them.
+//
+//smore:hotpath
 func BundleRowsInto(dst *Vector, vs ...Vector) {
 	s := len(vs)
 	if s < 1 || s > BundleRowsMax {

@@ -67,6 +67,8 @@ const blockWords = 512
 // bit-exactly equal to calling q.Cosine on each row. The popcount pass is
 // blocked: the matrix is streamed through the cache exactly once per call
 // regardless of dimension, and nothing is allocated.
+//
+//smore:hotpath
 func (m *Matrix) CosineInto(q Vector, dst []float64) {
 	if q.dim != m.dim {
 		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", q.dim, m.dim))

@@ -1,0 +1,92 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a Pass
+// hands it one type-checked package, and Report emits diagnostics. The repo
+// vendors nothing, so the four smorevet analyzers build against this
+// stdlib-only core; if golang.org/x/tools ever lands in the module, the
+// analyzers port by swapping this import — the field and method names match
+// deliberately.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, suppression comments
+	// (//smorevet:allow <name>), and the driver's -<name> selection flags.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line summary, then detail.
+	Doc string
+
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The result value is unused by this driver (kept for API
+	// parity) — return nil.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between the driver and one Analyzer.Run application:
+// a single type-checked package plus a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's syntax, parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+// All drivers (vettool, analysistest, self-test loader) must use it so an
+// analyzer never finds a nil map in one driver that was populated in
+// another.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// Validate rejects analyzer sets the driver cannot run: missing names,
+// duplicate names, or a nil Run.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("nil *Analyzer")
+		case a.Name == "":
+			return fmt.Errorf("analyzer has no name")
+		case a.Run == nil:
+			return fmt.Errorf("analyzer %q has no Run", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want` expectations,
+// mirroring the x/tools harness of the same name on the standard library
+// alone. A fixture line reads
+//
+//	fmt.Sprintf("x") // want `fmt\.Sprintf in hot path`
+//
+// where each backquoted or double-quoted string after `want` is a regexp
+// that must match exactly one diagnostic on that line; diagnostics with no
+// expectation, and expectations with no diagnostic, fail the test.
+//
+// Fixture import paths resolve against testdata/src first (so fixtures can
+// model multi-package shapes like serve→stream), then against the standard
+// library via build-cache export data — fully offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysis"
+	"go-arxiv/smore/internal/lint/load"
+)
+
+// TestData returns the caller's testdata directory as an absolute path.
+func TestData(t *testing.T) string {
+	t.Helper()
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+// Run analyzes each named fixture package under testdata/src with a and
+// compares diagnostics to the fixtures' want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(t, testdata)
+	for _, name := range pkgs {
+		p := ld.load(name)
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     p.files,
+			Pkg:       p.pkg,
+			TypesInfo: p.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", name, a.Name, err)
+			continue
+		}
+		checkWants(t, ld.fset, p.files, diags)
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	t        *testing.T
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*fixturePkg
+	loading  map[string]bool
+	stdFiles map[string]string // std package path -> export data file
+	stdImp   types.Importer
+}
+
+func newLoader(t *testing.T, testdata string) *loader {
+	ld := &loader{
+		t:        t,
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*fixturePkg{},
+		loading:  map[string]bool{},
+		stdFiles: map[string]string{},
+	}
+	ld.stdImp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ld.stdFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ld
+}
+
+// load parses and type-checks testdata/src/<name>, resolving its imports
+// through the loader (fixture siblings from source, std from export data).
+func (ld *loader) load(name string) *fixturePkg {
+	ld.t.Helper()
+	if p, ok := ld.pkgs[name]; ok {
+		return p
+	}
+	if ld.loading[name] {
+		ld.t.Fatalf("fixture import cycle through %q", name)
+	}
+	ld.loading[name] = true
+	defer delete(ld.loading, name)
+
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(name))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture package %q: %v", name, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			ld.t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("fixture package %q has no Go files", name)
+	}
+
+	info := analysis.NewInfo()
+	tc := &types.Config{
+		Importer: importerFunc(ld.importPkg),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := tc.Check(name, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("type-checking fixture %q: %v", name, err)
+	}
+	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	ld.pkgs[name] = p
+	return p
+}
+
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		return ld.load(path).pkg, nil
+	}
+	if _, ok := ld.stdFiles[path]; !ok {
+		// First use of this std package: compile it (and its deps) into the
+		// build cache and record every export file.
+		files, err := load.ExportData(ld.testdata, path)
+		if err != nil {
+			return nil, err
+		}
+		for p, f := range files {
+			ld.stdFiles[p] = f
+		}
+	}
+	return ld.stdImp.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one want regexp awaiting a diagnostic on its line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants pairs diagnostics with want expectations by file:line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, arg, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, exp.rx)
+			}
+		}
+	}
+}

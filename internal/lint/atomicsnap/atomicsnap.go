@@ -1,0 +1,202 @@
+// Package atomicsnap pins PR 6's snapshot contract structurally: an
+// atomic.Pointer[T] struct field is a publication point, so (1) Store/Swap
+// on such a field may only happen in a function that has already locked a
+// mutex on the same owner expression — or is annotated //smore:locked,
+// meaning its callers hold that mutex (model.Ensemble.publish) — and (2) a
+// value bound from Load() is an immutable snapshot: assigning through it
+// (fields, elements, or the pointee itself) is flagged.
+//
+// The match is syntactic on the owner expression (s.reg.mu.Lock() sanctions
+// s.reg.def.Store(...)), which is exactly how the repo writes these
+// sections; a Store guarded through an alias of the owner needs the
+// //smore:locked annotation instead.
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"go-arxiv/smore/internal/lint/analysis"
+	"go-arxiv/smore/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsnap",
+	Doc: "atomic.Pointer fields: Store/Swap only under the owning struct's " +
+		"mutex (or //smore:locked), and values from Load() are read-only snapshots",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lintutil.NewSuppressor(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, sup, fn)
+		}
+	}
+	return nil, nil
+}
+
+// atomicPtrField matches `<owner>.<field>.<method>` where field's type is
+// sync/atomic.Pointer[T], returning the owner expression and method name.
+func atomicPtrField(info *types.Info, call *ast.CallExpr) (owner ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	field, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	ft := lintutil.NamedOf(info.TypeOf(field))
+	if ft == nil || ft.Obj().Pkg() == nil ||
+		ft.Obj().Pkg().Path() != "sync/atomic" || ft.Obj().Name() != "Pointer" {
+		return nil, "", false
+	}
+	return field.X, sel.Sel.Name, true
+}
+
+func checkFunc(pass *analysis.Pass, sup *lintutil.Suppressor, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	calledLocked := lintutil.HasAnnotation(fn, lintutil.MarkerLocked)
+
+	// lockedOwners collects, in source order, positions at which a mutex on
+	// some owner expression is locked/unlocked; a Store at pos P on owner O
+	// is sanctioned when O's mutex was locked before P (unlocks are ignored:
+	// storing right before the unlock is the normal shape, and a stale
+	// sanction only weakens the check, never breaks builds).
+	type lockEvt struct {
+		owner string
+		pos   int
+	}
+	var locks []lockEvt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		mt := lintutil.NamedOf(info.TypeOf(field))
+		if mt == nil || mt.Obj().Pkg() == nil || mt.Obj().Pkg().Path() != "sync" ||
+			(mt.Obj().Name() != "Mutex" && mt.Obj().Name() != "RWMutex") {
+			return true
+		}
+		locks = append(locks, lockEvt{owner: types.ExprString(field.X), pos: int(call.Pos())})
+		return true
+	})
+	lockedBefore := func(owner string, pos int) bool {
+		for _, l := range locks {
+			if l.owner == owner && l.pos < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// snapVars are local variables bound from Load() on an atomic.Pointer
+	// field — immutable snapshots.
+	snapVars := map[types.Object]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			owner, method, ok := atomicPtrField(info, n)
+			if !ok {
+				return true
+			}
+			if method == "Store" || method == "Swap" {
+				if calledLocked || lockedBefore(types.ExprString(owner), int(n.Pos())) {
+					return true
+				}
+				lintutil.Reportf(pass, sup, n.Pos(),
+					"%s on atomic.Pointer field of %s without holding its mutex; publish under Lock or annotate the function //smore:locked",
+					method, types.ExprString(owner))
+			}
+		case *ast.AssignStmt:
+			// v := x.snap.Load() binds an immutable snapshot.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, method, ok := atomicPtrField(info, call); !ok || method != "Load" {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							snapVars[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							snapVars[obj] = true
+						}
+					}
+				}
+			}
+			checkSnapshotWrite(pass, sup, info, n.Lhs, snapVars)
+		case *ast.IncDecStmt:
+			checkSnapshotWrite(pass, sup, info, []ast.Expr{n.X}, snapVars)
+		}
+		return true
+	})
+}
+
+// checkSnapshotWrite flags assignment targets rooted in a snapshot variable
+// or directly in a Load() call: v.field = x, v.rows[i] = x, *v = x,
+// x.snap.Load().field = x.
+func checkSnapshotWrite(pass *analysis.Pass, sup *lintutil.Suppressor, info *types.Info, targets []ast.Expr, snapVars map[types.Object]bool) {
+	for _, t := range targets {
+		root, through := rootOf(t)
+		if !through {
+			continue // writing the variable itself (rebinding) is fine
+		}
+		switch root := root.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[root]; obj != nil && snapVars[obj] {
+				lintutil.Reportf(pass, sup, t.Pos(),
+					"write through snapshot %s loaded from an atomic.Pointer field; snapshots are immutable — build a new value and Store it",
+					root.Name)
+			}
+		case *ast.CallExpr:
+			if _, method, ok := atomicPtrField(info, root); ok && method == "Load" {
+				lintutil.Reportf(pass, sup, t.Pos(),
+					"write through atomic.Pointer Load(); snapshots are immutable — build a new value and Store it")
+			}
+		}
+	}
+}
+
+// rootOf unwraps selectors, indexes, derefs, and slices down to the base
+// expression; through reports whether any such step was taken (a bare ident
+// target is a rebind, not a write through the snapshot).
+func rootOf(e ast.Expr) (root ast.Expr, through bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e, through = x.X, true
+		case *ast.IndexExpr:
+			e, through = x.X, true
+		case *ast.StarExpr:
+			e, through = x.X, true
+		case *ast.SliceExpr:
+			e, through = x.X, true
+		default:
+			return e, through
+		}
+	}
+}

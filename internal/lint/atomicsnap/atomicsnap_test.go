@@ -1,0 +1,12 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysistest"
+	"go-arxiv/smore/internal/lint/atomicsnap"
+)
+
+func TestAtomicSnap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicsnap.Analyzer, "snap")
+}

@@ -1,0 +1,58 @@
+// Fixture for the atomicsnap analyzer: publication under the owner's
+// mutex, the //smore:locked annotation, and writes through loaded
+// snapshots.
+package snap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Snapshot struct {
+	rows []float64
+	n    int
+}
+
+type Ensemble struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+}
+
+func goodPublishUnderLock(m *Ensemble, s *Snapshot) {
+	m.mu.Lock()
+	m.snap.Store(s)
+	m.mu.Unlock()
+}
+
+//smore:locked — callers hold m.mu.
+func goodAnnotatedPublish(m *Ensemble, s *Snapshot) {
+	m.snap.Store(s)
+}
+
+func badUnlockedStore(m *Ensemble, s *Snapshot) {
+	m.snap.Store(s) // want `Store on atomic\.Pointer field of m without holding its mutex`
+}
+
+func badUnlockedSwap(m *Ensemble, s *Snapshot) {
+	_ = m.snap.Swap(s) // want `Swap on atomic\.Pointer field of m without holding its mutex`
+}
+
+func badWriteThroughSnapshot(m *Ensemble) {
+	v := m.snap.Load()
+	v.n = 1       // want `write through snapshot v loaded from an atomic\.Pointer field`
+	v.rows[0] = 2 // want `write through snapshot v`
+	v.n++         // want `write through snapshot v`
+}
+
+func badWriteThroughLoad(m *Ensemble) {
+	m.snap.Load().n = 3 // want `write through atomic\.Pointer Load\(\)`
+}
+
+func goodReadOnlySnapshot(m *Ensemble) float64 {
+	v := m.snap.Load()
+	total := 0.0
+	for _, r := range v.rows {
+		total += r
+	}
+	return total + float64(v.n)
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysistest"
+	"go-arxiv/smore/internal/lint/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errenvelope.Analyzer, "serve")
+}

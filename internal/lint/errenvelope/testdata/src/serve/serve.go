@@ -1,0 +1,88 @@
+// Fixture for the errenvelope analyzer, modeled on the repo's
+// internal/serve: the ErrorCodes registration table, the annotated
+// envelope helper, and every way of leaking an error response around it.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+const (
+	codeInvalidJSON = "invalid_json"
+	codeInternal    = "internal"
+	codeOrphan      = "orphan" // want `error code const codeOrphan \("orphan"\) is not registered in ErrorCodes`
+)
+
+// ErrorCodes is the registered code set the analyzer loads via go/types.
+var ErrorCodes = []string{codeInvalidJSON, codeInternal}
+
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func badHTTPError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusBadRequest) // want `http\.Error bypasses the error envelope`
+}
+
+func badBareWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `bare WriteHeader\(500\) outside the envelope helper`
+}
+
+func badEnvelopeOutsideHelper(w http.ResponseWriter) {
+	v := errorEnvelope{Error: errorBody{Code: codeInternal, Message: "x"}} // want `errorEnvelope constructed outside` `errorBody constructed outside`
+	_ = v
+}
+
+func badUnregisteredCode() error {
+	return &httpError{400, "not_registered", "nope"} // want `httpError code "not_registered" is not registered in ErrorCodes`
+}
+
+func badDiscardedWrite(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode(map[string]int{"a": 1}) // want `response-write error from \(\*encoding/json\.Encoder\)\.Encode discarded`
+}
+
+//smore:envelope-helper — the one function that renders error bodies.
+func finish(w http.ResponseWriter, err error) {
+	w.WriteHeader(statusOf(err))
+	w.WriteHeader(500) // constant 4xx/5xx is legal inside the annotated helper
+	//smorevet:allow errenvelope -- best-effort write; nothing left to do if the client is gone
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: codeOf(err), Message: err.Error()}})
+}
+
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+func codeOf(err error) string {
+	var he *httpError
+	if errors.As(err, &he) && he.code != "" {
+		return he.code
+	}
+	return codeInternal
+}
+
+// goodHandler returns a registered code through the normal error flow; a
+// non-constant status through WriteHeader (writeJSON-style) is also legal.
+func goodHandler(w http.ResponseWriter, status int) error {
+	w.WriteHeader(status)
+	return &httpError{status: 400, code: codeInvalidJSON, msg: "bad"}
+}

@@ -1,0 +1,326 @@
+// Package hotpath enforces the zero-allocation serve-path contract
+// statically: functions annotated //smore:hotpath — and every same-package
+// function they (transitively) call from hot code — must not format with
+// fmt's print family, read the clock, use the global math/rand state,
+// iterate a map, append to a freshly-allocated slice, or box non-pointer
+// values into interfaces. It is the static complement to the cmd/benchjson
+// zero-alloc benchmark gate: the gate proves the current code allocates
+// nothing, this analyzer points at the exact expression when a change would.
+//
+// Cold guards are exempt: an if-body whose last statement is a panic or a
+// return (dimension-mismatch panics, error returns) may format freely —
+// that code never runs on the hot path. Cross-package callees are not
+// traced; annotate them directly (the seed set already annotates the hdc
+// kernels that encode/model call into).
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"go-arxiv/smore/internal/lint/analysis"
+	"go-arxiv/smore/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "forbid fmt printing, time.Now, global math/rand, map iteration, " +
+		"fresh-slice append, and interface boxing in //smore:hotpath functions " +
+		"and their intra-package callees",
+	Run: run,
+}
+
+// printFamily is fmt's allocating formatter surface. fmt.Errorf is absent
+// on purpose: error construction lives in cold guards, which the
+// cold-branch rule already exempts, and wrapping errors is how the repo
+// reports dimension mismatches.
+var printFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Append": true, "Appendf": true, "Appendln": true,
+}
+
+// randConstructors are math/rand(/v2) functions that build a private
+// generator — fine to call at setup time from hot-adjacent init code; it is
+// the implicitly-locked global state that is banned.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lintutil.NewSuppressor(pass.Fset, pass.Files)
+
+	// Index every function declared in this package and collect the
+	// //smore:hotpath roots.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fn
+			if lintutil.HasAnnotation(fn, lintutil.MarkerHotpath) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	// BFS the intra-package call graph from the roots, following only calls
+	// that appear in hot (non-cold-guard) code. rootName records which
+	// annotated root made each function hot, for diagnostics.
+	rootName := map[*types.Func]string{}
+	queue := []*types.Func{}
+	for _, r := range roots {
+		rootName[r] = r.Name()
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fn := decls[cur]
+		cold := coldBlocks(fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if blk, ok := n.(*ast.BlockStmt); ok && cold[blk] {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, seen := rootName[callee]; seen {
+				return true
+			}
+			if _, declared := decls[callee]; !declared {
+				return true
+			}
+			rootName[callee] = rootName[cur]
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	for obj, root := range rootName {
+		why := obj.Name() + " is //smore:hotpath"
+		if root != obj.Name() {
+			why = fmt.Sprintf("%s is called from //smore:hotpath %s", obj.Name(), root)
+		}
+		checkFunc(pass, sup, decls[obj], why)
+	}
+	return nil, nil
+}
+
+// coldBlocks returns the set of if-bodies that are terminating guards
+// (panic or return) — exempt from hot-path rules.
+func coldBlocks(fn *ast.FuncDecl) map[*ast.BlockStmt]bool {
+	cold := map[*ast.BlockStmt]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && lintutil.IsColdBranch(ifs.Body) {
+			cold[ifs.Body] = true
+		}
+		return true
+	})
+	return cold
+}
+
+func checkFunc(pass *analysis.Pass, sup *lintutil.Suppressor, fn *ast.FuncDecl, why string) {
+	info := pass.TypesInfo
+	cold := coldBlocks(fn)
+	fresh := freshSlices(info, fn, cold)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if blk, ok := n.(*ast.BlockStmt); ok && cold[blk] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					lintutil.Reportf(pass, sup, n.Pos(),
+						"map iteration in hot path (%s): range order is nondeterministic; use a slice or sorted keys", why)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, sup, n, why, fresh)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, sup *lintutil.Suppressor, call *ast.CallExpr, why string, fresh map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Builtins: only append is interesting.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := info.Uses[base]; obj != nil && fresh[obj] {
+					lintutil.Reportf(pass, sup, call.Pos(),
+						"append to freshly-allocated slice %s in hot path (%s): allocates per call; reuse a caller-provided or pooled scratch buffer",
+						base.Name, why)
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions to interface types box their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxed(pass, sup, call.Args[0], tv.Type, why)
+		}
+		return
+	}
+
+	f := lintutil.CalleeFunc(info, call)
+	if f != nil {
+		switch pkg := lintutil.FuncPkgPath(f); {
+		case pkg == "fmt" && printFamily[f.Name()]:
+			lintutil.Reportf(pass, sup, call.Pos(),
+				"fmt.%s in hot path (%s): formatting allocates; keep it in cold guards or drop it", f.Name(), why)
+			return
+		case pkg == "time" && f.Name() == "Now" && lintutil.ReceiverNamed(f) == nil:
+			lintutil.Reportf(pass, sup, call.Pos(),
+				"time.Now in hot path (%s): per-call clock reads stall the serve path; hoist timing to the caller", why)
+			return
+		case (pkg == "math/rand" || pkg == "math/rand/v2") &&
+			lintutil.ReceiverNamed(f) == nil && !randConstructors[f.Name()]:
+			lintutil.Reportf(pass, sup, call.Pos(),
+				"%s.%s in hot path (%s): the global generator takes a lock and breaks replayable determinism; use a seeded local source", pkg, f.Name(), why)
+			return
+		}
+	}
+
+	// Implicit boxing: concrete non-pointer values passed to interface
+	// parameters allocate. Builtins (panic, copy, delete, ...) are exempt —
+	// their "parameters" are compiler intrinsics, not boxing sites we police.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			reportBoxed(pass, sup, arg, pt, why)
+		}
+	}
+}
+
+// reportBoxed flags arg if converting it to iface heap-boxes a value.
+func reportBoxed(pass *analysis.Pass, sup *lintutil.Suppressor, arg ast.Expr, iface types.Type, why string) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[arg]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	at := types.Default(tv.Type)
+	if types.IsInterface(at) || lintutil.IsPointerShaped(at) {
+		return
+	}
+	if _, isParam := types.Unalias(at).(*types.TypeParam); isParam {
+		return
+	}
+	lintutil.Reportf(pass, sup, arg.Pos(),
+		"%s value boxed into %s in hot path (%s): interface conversion allocates; pass a pointer or a concrete type",
+		types.TypeString(at, types.RelativeTo(pass.Pkg)),
+		types.TypeString(iface, types.RelativeTo(pass.Pkg)), why)
+}
+
+// freshSlices collects local slice variables whose declaration allocates —
+// `s := make([]T, ...)`, `s := []T{...}`, `var s []T` — outside cold
+// guards. Appending to one of these in hot code is a per-call allocation;
+// appending to a parameter or struct-field scratch buffer is the sanctioned
+// pattern and stays legal.
+func freshSlices(info *types.Info, fn *ast.FuncDecl, cold map[*ast.BlockStmt]bool) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				fresh[obj] = true
+			}
+		}
+	}
+	allocates := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			_, isBuiltin := info.Uses[id].(*types.Builtin)
+			return isBuiltin && id.Name == "make"
+		case *ast.CompositeLit:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if blk, ok := n.(*ast.BlockStmt); ok && cold[blk] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if allocates(n.Rhs[i]) {
+					mark(id)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if len(vs.Values) == 0 || (i < len(vs.Values) && allocates(vs.Values[i])) {
+						mark(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysistest"
+	"go-arxiv/smore/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "hot")
+}

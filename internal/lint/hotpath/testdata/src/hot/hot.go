@@ -1,0 +1,51 @@
+// Fixture for the hotpath analyzer: annotated roots, transitive callees,
+// cold-guard exemptions, and the allocation/determinism bans.
+package hot
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+//smore:hotpath
+func ScoreInto(out []float64, q []uint64) {
+	if len(q) == 0 {
+		panic(fmt.Sprintf("empty query of %d words", len(q))) // cold guard: allowed
+	}
+	_ = fmt.Sprintf("scoring %d", len(q)) // want `fmt\.Sprintf in hot path \(ScoreInto is //smore:hotpath\)`
+	_ = time.Now()                        // want `time\.Now in hot path`
+	_ = rand.Int()                        // want `math/rand\.Int in hot path`
+	helper(out)
+}
+
+func helper(out []float64) {
+	counts := map[int]int{}
+	for k := range counts { // want `map iteration in hot path \(helper is called from //smore:hotpath ScoreInto\)`
+		_ = k
+	}
+	fresh := make([]float64, 0, 8)
+	fresh = append(fresh, 1) // want `append to freshly-allocated slice fresh in hot path`
+	_ = fresh
+	box(len(out)) // want `int value boxed into .* in hot path`
+}
+
+func box(v any) { _ = v }
+
+//smore:hotpath
+func CleanInto(dst, src []int) (int, error) {
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("size mismatch: %d vs %d", len(dst), len(src)) // cold guard + Errorf: allowed
+	}
+	n := copy(dst, src)
+	dst = append(dst, n) // dst is caller-provided, not fresh: allowed
+	_ = dst
+	return n, nil
+}
+
+// notHot is neither annotated nor called from hot code; everything here is
+// legal.
+func notHot() string {
+	_ = time.Now()
+	return fmt.Sprintf("cold %d", rand.Intn(4))
+}

@@ -1,0 +1,231 @@
+// Package lintutil holds the plumbing shared by the four smorevet
+// analyzers: annotation markers (//smore:hotpath, //smore:locked,
+// //smore:envelope-helper), per-site suppression (//smorevet:allow),
+// cold-branch detection, and go/types call-resolution helpers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode/utf8"
+
+	"go-arxiv/smore/internal/lint/analysis"
+)
+
+// Annotation markers recognized in function doc comments.
+const (
+	MarkerHotpath        = "smore:hotpath"
+	MarkerLocked         = "smore:locked"
+	MarkerEnvelopeHelper = "smore:envelope-helper"
+)
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The smorevet invariants target production code; tests may legitimately
+// poke at locked state or allocate on hot paths.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// HasAnnotation reports whether the function's doc comment contains the
+// marker as a standalone machine-readable line, e.g. "//smore:hotpath".
+// Trailing prose after the marker is permitted ("//smore:locked — callers
+// hold m.mu").
+func HasAnnotation(fn *ast.FuncDecl, marker string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if matchMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchMarker(comment, marker string) bool {
+	rest, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return false
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, marker)
+	if !ok {
+		return false
+	}
+	// Exact marker, or marker followed by a separator — rejects prefixes of
+	// longer markers (e.g. "smore:hotpath" must not match "smore:hotpathx").
+	if rest == "" {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	switch r {
+	case ' ', '\t', ':', '-', '—':
+		return true
+	}
+	return false
+}
+
+// Suppressor indexes //smorevet:allow comments so analyzers can honor
+// per-site suppressions. A finding at line N is suppressed when an allow
+// comment naming the analyzer sits on line N (trailing) or line N-1
+// (preceding). The suppression syntax is
+//
+//	//smorevet:allow <analyzer> -- <reason>
+//
+// and the reason is mandatory by convention (reviewed, not enforced).
+type Suppressor struct {
+	fset *token.FileSet
+	// allows maps filename -> line -> set of analyzer names allowed there.
+	allows map[string]map[int]map[string]bool
+}
+
+// NewSuppressor scans every comment in files for //smorevet:allow markers.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, allows: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//smorevet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byLine := s.allows[p.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					s.allows[p.Filename] = byLine
+				}
+				names := byLine[p.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[p.Line] = names
+				}
+				// First field is the analyzer name (or comma-separated list);
+				// everything from "--" on is the rationale.
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from analyzer at pos is covered
+// by an allow comment on the same line or the line above.
+func (s *Suppressor) Suppressed(pos token.Pos, analyzer string) bool {
+	p := s.fset.Position(pos)
+	byLine := s.allows[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if byLine[line][analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf emits a diagnostic unless the site is in a _test.go file or
+// carries a matching //smorevet:allow suppression.
+func Reportf(pass *analysis.Pass, sup *Suppressor, pos token.Pos, format string, args ...any) {
+	if IsTestFile(pass.Fset, pos) || sup.Suppressed(pos, pass.Analyzer.Name) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// IsColdBranch reports whether an if-body is a terminating guard — its last
+// statement is a panic or a return — so hot-path and lock checks can skip
+// error/panic guards like
+//
+//	if a.dim != b.dim { panic(fmt.Sprintf(...)) }
+//	if err != nil { return fmt.Errorf(...) }
+//
+// which never execute on the hot path.
+func IsColdBranch(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the function or method called by call, or nil when the
+// callee is not a statically-known *types.Func (builtins, func-typed
+// variables, type conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncPkgPath returns the import path of the package declaring f, or "".
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// ReceiverNamed returns the named type of f's receiver (through one level
+// of pointer), or nil for plain functions.
+func ReceiverNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return NamedOf(sig.Recv().Type())
+}
+
+// NamedOf unwraps t to its *types.Named through pointers and aliases,
+// or nil if t has no named core.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsPointerShaped reports whether values of type t are represented as a
+// single pointer word, so converting one to an interface does not allocate a
+// fresh box for the value itself (the conversion still writes an iface
+// header, but no heap copy of the payload).
+func IsPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysistest"
+	"go-arxiv/smore/internal/lint/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockdiscipline.Analyzer, "a")
+}

@@ -1,0 +1,13 @@
+// Package stream is a fixture stand-in for the repo's internal/stream: the
+// lockdiscipline analyzer matches Adapter fold entry points by package and
+// type name.
+package stream
+
+import "sync"
+
+type Adapter struct {
+	mu sync.Mutex
+}
+
+func (a *Adapter) Drain() error { return nil }
+func (a *Adapter) Close() error { return nil }

@@ -1,0 +1,54 @@
+// self_test runs all four smorevet analyzers over the repo's production
+// packages, so `go test ./...` — not only `make vet-smore` — fails when a
+// change breaks a concurrency, hot-path, or error-envelope invariant.
+package lint_test
+
+import (
+	"testing"
+
+	"go-arxiv/smore/internal/lint/analysis"
+	"go-arxiv/smore/internal/lint/atomicsnap"
+	"go-arxiv/smore/internal/lint/errenvelope"
+	"go-arxiv/smore/internal/lint/hotpath"
+	"go-arxiv/smore/internal/lint/load"
+	"go-arxiv/smore/internal/lint/lockdiscipline"
+)
+
+func TestRepoSatisfiesInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole repo via go list -export; skipped in -short")
+	}
+	pkgs, err := load.Packages("../..", "./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	analyzers := []*analysis.Analyzer{
+		lockdiscipline.Analyzer,
+		hotpath.Analyzer,
+		errenvelope.Analyzer,
+		atomicsnap.Analyzer,
+	}
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				t.Errorf("%s on %s: %v", a.Name, p.ImportPath, err)
+				continue
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, p.Fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+}

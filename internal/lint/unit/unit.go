@@ -1,0 +1,262 @@
+// Package unit implements the `go vet -vettool` command-line protocol for
+// the smorevet analyzers, mirroring x/tools' unitchecker on the standard
+// library alone:
+//
+//	-V=full    print an executable fingerprint for the build cache
+//	-flags     describe supported flags as JSON
+//	unit.cfg   analyze the single compilation unit the go command describes
+//
+// The go command hands each package a JSON config naming its (already
+// parsed-and-compiled) sources plus gc export-data files for every import,
+// so analysis is fully modular and needs no network, GOPATH, or go/packages.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"go-arxiv/smore/internal/lint/analysis"
+)
+
+// Config is the JSON compilation-unit description written by the go
+// command for a -vettool (the subset of fields smorevet consumes).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> gc export data file
+	Standard                  map[string]bool
+	VetxOnly                  bool   // facts-only run for a dependency
+	VetxOutput                string // where to write the (empty) facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/smorevet.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		name := a.Name
+		enabled[name] = flag.Bool(name, false, "enable only "+name+" analysis")
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s [-<analyzer>] packages\n", progname)
+		os.Exit(1)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// Explicitly naming analyzers on the go vet command line narrows the
+	// run; by default all of them run.
+	anySelected := false
+	for _, on := range enabled {
+		anySelected = anySelected || *on
+	}
+	if anySelected {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if args[0] == "help" {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("invoke via go vet -vettool=%s; direct invocation takes a single .cfg file", progname)
+	}
+	Run(args[0], analyzers)
+}
+
+// Run analyzes the unit described by configFile and exits: 0 on a clean
+// run, 1 when any diagnostic was reported.
+func Run(configFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// smorevet defines no analysis facts, but go vet expects every unit to
+	// leave a facts file for its dependents.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	diags, err := run(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the parse/type error; stay quiet.
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func run(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a canonical package path (post ImportMap resolution).
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full fingerprint protocol go vet uses for
+// build caching: hash the tool binary so edits invalidate cached results.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -185,6 +185,8 @@ type Ensemble struct {
 // publish deep-copies the current prototype state into a fresh immutable
 // Snapshot and swaps it in as the served view. Callers must hold m.mu and
 // have rebuilt the prototypes first.
+//
+//smore:locked
 func (m *Ensemble) publish() {
 	s := &Snapshot{
 		cfg:     m.cfg,
@@ -352,6 +354,8 @@ func (m *Ensemble) domainWeights(hv hdc.Vector) []float64 {
 // ScoreInto writes the active model's per-class scores for hv into dst
 // through the current snapshot (see Snapshot.ScoreInto). It is lock-free
 // and allocation-free in steady state.
+//
+//smore:hotpath
 func (m *Ensemble) ScoreInto(hv hdc.Vector, dst []float64) error {
 	s := m.snap.Load()
 	if s == nil {
@@ -364,6 +368,8 @@ func (m *Ensemble) ScoreInto(hv hdc.Vector, dst []float64) error {
 // the adapted target model is used; otherwise the similarity-weighted
 // source ensemble decides. Lock-free: a concurrent adaptation fold never
 // stalls it, and it sees either the pre-fold or post-fold model.
+//
+//smore:hotpath
 func (m *Ensemble) Predict(hv hdc.Vector) int {
 	return m.mustSnapshot().Predict(hv)
 }
@@ -378,6 +384,8 @@ func (m *Ensemble) PredictSource(hv hdc.Vector) int {
 // worker count (workers <= 0 means GOMAXPROCS). The whole batch is scored
 // against one snapshot, so the output is identical for every worker count
 // and mutually consistent under concurrent adaptation.
+//
+//smore:hotpath
 func (m *Ensemble) PredictBatch(hvs []hdc.Vector, workers int) []int {
 	return m.mustSnapshot().PredictBatch(hvs, workers)
 }

@@ -165,6 +165,8 @@ func (s *Snapshot) ensembleScoresInto(hv hdc.Vector, dst []float64, sc *scoreScr
 // similarity-weighted source-ensemble scores. Classes the active model has
 // never seen score -Inf. The pass allocates nothing in steady state, so
 // batch callers can reuse one dst across queries.
+//
+//smore:hotpath
 func (s *Snapshot) ScoreInto(hv hdc.Vector, dst []float64) error {
 	if hv.Dim() != s.cfg.Dim {
 		return fmt.Errorf("%w: query has dimension %d, model wants %d", ErrInvalidTargets, hv.Dim(), s.cfg.Dim)
@@ -184,6 +186,8 @@ func (s *Snapshot) ScoreInto(hv hdc.Vector, dst []float64) error {
 
 // Predict classifies hv: with the adapted target model when the snapshot
 // carries one, otherwise with the similarity-weighted source ensemble.
+//
+//smore:hotpath
 func (s *Snapshot) Predict(hv hdc.Vector) int {
 	sc := s.pool.get(s.cfg.Classes, len(s.domains))
 	defer s.pool.put(sc)
@@ -208,6 +212,8 @@ func (s *Snapshot) PredictSource(hv hdc.Vector) int {
 // worker count (workers <= 0 means GOMAXPROCS). The whole batch is scored
 // against this one snapshot, so the results are mutually consistent even
 // while the publishing ensemble keeps adapting.
+//
+//smore:hotpath
 func (s *Snapshot) PredictBatch(hvs []hdc.Vector, workers int) []int {
 	out := make([]int, len(hvs))
 	parallel.NewPool(workers).ForEach(len(hvs), func(i int) {

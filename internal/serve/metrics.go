@@ -23,12 +23,14 @@ type metrics struct {
 	deletes   atomic.Int64
 }
 
-// endpointMetrics counts one HTTP endpoint's requests, errors, and total
-// wall-clock latency.
+// endpointMetrics counts one HTTP endpoint's requests, errors, total
+// wall-clock latency, and response writes that failed mid-flight (client
+// gone before the body — including the error envelope itself — landed).
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	nanos    atomic.Int64
+	requests    atomic.Int64
+	errors      atomic.Int64
+	nanos       atomic.Int64
+	writeErrors atomic.Int64
 }
 
 // stageMetrics counts one processing stage's operations and cumulative
@@ -63,6 +65,13 @@ func (m *metrics) observeRequest(endpoint string, start time.Time, failed bool) 
 	}
 }
 
+// observeWriteError records a response-body write that failed after the
+// handler committed to a status — there is nothing left to send the client,
+// so the failure is only counted.
+func (m *metrics) observeWriteError(endpoint string) {
+	m.endpoints[endpoint].writeErrors.Add(1)
+}
+
 // stage times one processing stage: call the returned func when the stage
 // completes.
 func (m *metrics) stage(name string) func() {
@@ -87,6 +96,11 @@ func (m *metrics) render(w io.Writer, infos []modelInfo) {
 	fmt.Fprintf(w, "# TYPE smore_request_errors_total counter\n")
 	for _, e := range sortedKeys(m.endpoints) {
 		fmt.Fprintf(w, "smore_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP smore_response_write_errors_total Response writes that failed after the status was committed.\n")
+	fmt.Fprintf(w, "# TYPE smore_response_write_errors_total counter\n")
+	for _, e := range sortedKeys(m.endpoints) {
+		fmt.Fprintf(w, "smore_response_write_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].writeErrors.Load())
 	}
 	fmt.Fprintf(w, "# HELP smore_request_latency_seconds_total Cumulative request wall-clock time per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE smore_request_latency_seconds_total counter\n")

@@ -211,31 +211,6 @@ type adaptResponse struct {
 	Strategy string           `json:"strategy"`
 }
 
-// Stable machine-readable error codes, one per distinct failure the API can
-// render in its error envelope. Codes are part of the API contract: clients
-// switch on them instead of parsing messages, so existing codes must never
-// be renamed.
-const (
-	codeInvalidJSON      = "invalid_json"       // body is not valid JSON
-	codeTrailingData     = "trailing_data"      // bytes after the JSON/bundle body
-	codeBodyTooLarge     = "body_too_large"     // body exceeds MaxBody
-	codeEmptyBatch       = "empty_batch"        // no windows in request
-	codeBatchTooLarge    = "batch_too_large"    // more windows than MaxBatch/queue capacity
-	codeBadWindow        = "bad_window"         // window shape the encoder rejects
-	codeInvalidTargets   = "invalid_targets"    // adapt batch the model rejects
-	codeNotTrained       = "not_trained"        // model has no trained source domains
-	codeUnknownStrategy  = "unknown_strategy"   // unregistered adaptation-strategy spec
-	codeInvalidConfig    = "invalid_config"     // bundle carries an invalid model config
-	codeInvalidBundle    = "invalid_bundle"     // undecodable/untrained bundle payload
-	codeQueueFull        = "queue_full"         // transient streaming backpressure
-	codeDraining         = "draining"           // shutdown in progress
-	codeInvalidModelName = "invalid_model_name" // malformed registry name
-	codeModelNotFound    = "model_not_found"    // unknown registry name
-	codeRegistryFull     = "registry_full"      // MaxModels reached, nothing evictable
-	codeDefaultPinned    = "default_pinned"     // DELETE on the pinned default model
-	codeInternal         = "internal"           // unclassified server fault
-)
-
 // httpError carries a status code and a stable machine-readable error code
 // out of a handler stage.
 type httpError struct {
@@ -630,14 +605,34 @@ func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 // finish records metrics for a request and renders the error in the
 // uniform envelope — unless a response was already committed (then the
 // error, typically a failed body write to a gone client, is only counted).
+//
+// errenvelope analyzer (cmd/smorevet) flags envelope literals and bare
+// error statuses everywhere else.
+//
+//smore:envelope-helper — the single function that renders error bodies; the
 func (s *Server) finish(w *responseRecorder, endpoint string, start time.Time, err error) {
 	s.met.observeRequest(endpoint, start, err != nil)
-	if err == nil || w.wrote {
+	if err == nil {
+		return
+	}
+	if w.wrote {
+		// A handler only surfaces an error after committing a status when the
+		// body write itself failed; nothing can be rendered on top of the
+		// partial response, so the failure is counted instead.
+		s.met.observeWriteError(endpoint)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(errStatus(err))
-	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: errCode(err), Message: err.Error()}}) //nolint:errcheck // nothing left to do on a failed error write
+	ew := &errWriter{w: w}
+	// Best-effort by design: the error status line is already committed, so
+	// if the envelope body fails to reach the client there is nothing left
+	// to answer with — the failure lands in writeErrors below.
+	//smorevet:allow errenvelope -- the sanctioned raw envelope write; failures counted via observeWriteError
+	_ = json.NewEncoder(ew).Encode(errorEnvelope{Error: errorBody{Code: errCode(err), Message: err.Error()}})
+	if ew.err != nil {
+		s.met.observeWriteError(endpoint)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) error {

@@ -14,7 +14,7 @@
 # adaptation strategy is installed, listed, and round-tripped through an
 # SME2 bundle export/upload. Used by `make e2e` and CI.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 ADDR="${SMORE_E2E_ADDR:-127.0.0.1:8791}"
 STREAM_ADDR="${SMORE_E2E_STREAM_ADDR:-127.0.0.1:8792}"

@@ -1,0 +1,22 @@
+// Tools module: pins the external analyzer versions via Go 1.24 `tool`
+// directives, so Makefile and CI build them with `go install tool` instead
+// of copy-pasted `go install pkg@version` lines that drift. Kept as a
+// nested module so the analyzers' large dependency graphs never enter the
+// main module (which is deliberately dependency-free).
+//
+// go.sum is generated on first use (`go mod tidy`, run by `make lint`):
+// this repo is developed offline, so the sum file cannot be committed from
+// the dev environment.
+module go-arxiv/smore/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.6.0
+)
