@@ -14,7 +14,7 @@ FUZZPKG ?= ./internal/hdc
 FUZZ ?= FuzzVectorRoundTrip
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json lint fuzz fmt fmt-check vet vet-smore demo serve e2e ablate-smoke clean
+.PHONY: build test race bench bench-json lint fuzz fmt fmt-check vet vet-smore demo serve e2e ablate-smoke drift-smoke clean
 
 build:
 	$(GO) build ./...
@@ -109,6 +109,17 @@ ablate-smoke:
 		-strategies '$(ABLATE_STRATEGIES)' -seeds '$(ABLATE_SEEDS)' \
 		-out-json ablate.json -out-md ablate.md
 	@if [ -n "$$GITHUB_STEP_SUMMARY" ]; then cat ablate.md >> "$$GITHUB_STEP_SUMMARY"; fi
+
+# drift-smoke replays the two-shift continual-adaptation scenario through
+# the real CLI: phase A adapts to the standard target, phase B streams a
+# second shifted domain, and -require-drift makes the run exit non-zero
+# unless the spawn policy opened a second target AND final phase-B accuracy
+# beat the frozen single-target baseline. The 0.04 threshold pairs with the
+# pipeline's DefaultDriftShift (see internal/pipeline/drift_eval.go).
+drift-smoke:
+	$(GO) run ./cmd/smore stream -dim 1024 -sensors 3 -classes 4 -window 48 \
+		-per-class 24 -levels 16 -seed 7 -batch 8 -adapt-epochs 10 \
+		-drift-policy spawn:0.04 -require-drift
 
 clean:
 	$(GO) clean -testcache

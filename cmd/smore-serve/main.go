@@ -8,13 +8,14 @@
 //	POST   /v1/predict                    {"windows": [[[...]]]} → {"predictions": [...]}
 //	POST   /v1/adapt                      {"windows": [[[...]]]} → {"stats": {...}}
 //	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
-//	GET    /v1/stream/stats               streaming queue depth, folds, cumulative adapt stats
+//	GET    /v1/stream/stats               streaming queue depth, folds, drift trajectory, target set
+//	POST   /v1/stream/rollback            restore the pre-drift checkpoint (409 no_checkpoint without one)
 //	GET    /v1/model                      canonical bundle bytes (byte-identical to the file)
 //	GET    /v1/models                     registry listing
 //	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap; LRU-evicts past -max-models)
 //	GET    /v1/models/{name}              canonical named bundle bytes
 //	DELETE /v1/models/{name}              remove a named model (the default is pinned)
-//	POST   /v1/models/{name}/predict      per-model predict (also .../adapt, .../stream/adapt, .../stream/stats)
+//	POST   /v1/models/{name}/predict      per-model predict (also .../adapt, .../stream/adapt, .../stream/stats, .../stream/rollback)
 //	GET    /healthz                       liveness + model summary
 //	GET    /metrics                       per-endpoint, per-stage, and per-model counters
 //
@@ -40,6 +41,7 @@ import (
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
 	"go-arxiv/smore/internal/serve"
+	"go-arxiv/smore/internal/stream"
 )
 
 // pprofListenAddr normalizes the -pprof-addr flag: a bare port or
@@ -104,6 +106,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests, then again for the stream queue")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (opt-in; a bare port like 6060 binds localhost); empty disables")
 		strategy     = flag.String("strategy", "", "override the default model's adaptation strategy (confidence+schedule+update; empty keeps the bundle's)")
+		driftPolicy  = flag.String("drift-policy", "", "spawn fresh target domains on streamed drift: none | spawn[:threshold] | spawn+retire[:threshold] (empty = none, EMA still tracked)")
+		maxTargets   = flag.Int("max-targets", 0, "live-target cap per model under a retiring drift policy (0 = default)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -123,17 +127,22 @@ func main() {
 		}
 		b.Model.SetStrategy(strat)
 	}
+	policy, err := stream.ParseDriftPolicy(*driftPolicy)
+	if err != nil {
+		log.Fatalf("smore-serve: %v", err)
+	}
 	srv, err := serve.New(b, serve.Options{
 		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
 		StreamQueue: *streamQueue, StreamBatch: *streamBatch,
+		DriftPolicy: policy, MaxTargets: *maxTargets,
 		MaxModels: *maxModels, Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("smore-serve: %v", err)
 	}
 	mcfg := b.Model.Config()
-	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v strategy=%s stream-queue=%d stream-batch=%d max-models=%d)",
-		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), b.Model.Strategy(), *streamQueue, *streamBatch, *maxModels)
+	log.Printf("smore-serve: serving %s on %s (dim=%d classes=%d sensors=%d adapted=%v strategy=%s drift-policy=%s stream-queue=%d stream-batch=%d max-models=%d)",
+		*load, *addr, mcfg.Dim, mcfg.Classes, b.Encoder.Sensors, b.Model.Adapted(), b.Model.Strategy(), policy.Name(), *streamQueue, *streamBatch, *maxModels)
 	if *pprofAddr != "" {
 		startPprof(pprofListenAddr(*pprofAddr))
 	}

@@ -26,6 +26,7 @@ import (
 	"go-arxiv/smore/internal/encode"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
+	"go-arxiv/smore/internal/stream"
 )
 
 // fatal reports an error and exits non-zero, first flushing any in-flight
@@ -74,6 +75,11 @@ type cliFlags struct {
 	noAdapt    bool
 	streamN    int
 	dumpTarget string
+	dumpDrift  string
+	// stream drift group.
+	driftPolicy  string
+	maxTargets   int
+	requireDrift bool
 	// ablate group.
 	strategies string
 	seeds      string
@@ -202,6 +208,7 @@ func runSubcommand(name string, args []string) {
 		fs.StringVar(&c.save, "save", "", "write the trained+adapted model bundle to this file")
 		fs.BoolVar(&c.noAdapt, "no-adapt", false, "skip adaptation: evaluate and save the source-only model")
 		fs.StringVar(&c.dumpTarget, "dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
+		fs.StringVar(&c.dumpDrift, "dump-drift", "", "write a harsh second-shift drift split (detector-grade; same class signatures) to PREFIX.windows.json / PREFIX.labels.json")
 	case "eval":
 		c.modelFlags(fs)
 		fs.StringVar(&c.load, "load", "", "model bundle to evaluate (required; its encoder/model config overrides the flags)")
@@ -211,6 +218,11 @@ func runSubcommand(name string, args []string) {
 		fs.IntVar(&c.streamN, "batch", 16, "micro-batch size for the streamed replay")
 		fs.StringVar(&c.load, "load", "", "start from this bundle instead of training (typically a -no-adapt source model)")
 		fs.StringVar(&c.save, "save", "", "write the post-stream model bundle to this file")
+		fs.StringVar(&c.driftPolicy, "drift-policy", "",
+			"run the two-shift drift replay under this policy: none | spawn[:threshold] | spawn+retire[:threshold] (empty = plain single-shift replay)")
+		fs.IntVar(&c.maxTargets, "max-targets", 0, "live-target cap for a retiring drift policy (0 = default)")
+		fs.BoolVar(&c.requireDrift, "require-drift", false,
+			"exit non-zero unless the drift replay spawned a second target and beat the frozen single-target baseline")
 	case "ablate":
 		c.modelFlags(fs)
 		fs.StringVar(&c.strategies, "strategies", strings.Join(pipeline.DefaultAblateStrategies(), ","),
@@ -263,6 +275,7 @@ func runLegacy(args []string) {
 	fs.BoolVar(&c.noAdapt, "no-adapt", false, "skip adaptation: evaluate and save the source-only model (the starting point for streaming adaptation)")
 	fs.IntVar(&c.streamN, "stream", 0, "replay the target split as an arriving stream with this micro-batch size instead of one-shot adaptation")
 	fs.StringVar(&c.dumpTarget, "dump-target", "", "write the raw target windows and labels to PREFIX.windows.json / PREFIX.labels.json")
+	fs.StringVar(&c.dumpDrift, "dump-drift", "", "write a harsh second-shift drift split (detector-grade; same class signatures) to PREFIX.windows.json / PREFIX.labels.json")
 	fs.BoolVar(&c.ablate, "ablate", false, "run the adaptation-strategy ablation sweep (see 'smore ablate -h' for its dedicated flags)")
 	fs.StringVar(&c.strategies, "strategies", strings.Join(pipeline.DefaultAblateStrategies(), ","),
 		"comma-separated strategy specs for -ablate")
@@ -321,19 +334,53 @@ func runPipeline(c *cliFlags, mode string) {
 		fatal(err)
 	}
 	if c.dumpTarget != "" {
-		if err := writeTargetDump(art, c.dumpTarget); err != nil {
+		labels := make([]int, len(art.Target))
+		for i, s := range art.Target {
+			labels[i] = s.Class
+		}
+		if err := writeSplitDump(art.TargetWindows, labels, c.dumpTarget); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "smore: dumped target split to %s.windows.json / %s.labels.json\n", c.dumpTarget, c.dumpTarget)
 	}
+	if c.dumpDrift != "" {
+		// The detector-grade shift trips the serving layer's default 0.1
+		// drift threshold, so scripts can drive the spawn/rollback loop
+		// without tuning (post-spawn accuracy on it is near chance; use the
+		// stream subcommand's -drift-policy replay for quality numbers).
+		bs, err := art.DriftSplit(pipeline.DriftConfig{Shift: pipeline.DetectorDriftShift()})
+		if err != nil {
+			fatal(err)
+		}
+		labels := make([]int, len(bs))
+		for i, s := range bs {
+			labels[i] = s.Class
+		}
+		if err := writeSplitDump(data.Windows(bs), labels, c.dumpDrift); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smore: dumped drift split to %s.windows.json / %s.labels.json\n", c.dumpDrift, c.dumpDrift)
+	}
 
 	var res *pipeline.Result
 	var streamRes *pipeline.StreamResult
+	var driftRes *pipeline.DriftResult
 	switch mode {
 	case modeBaseline:
 		res, err = art.EvaluateBaseline()
 	case modeStream:
-		streamRes, err = art.StreamEvaluate(c.streamN)
+		if c.driftPolicy != "" {
+			var pol stream.DriftPolicy
+			pol, err = stream.ParseDriftPolicy(c.driftPolicy)
+			if err != nil {
+				fatal(err)
+			}
+			driftRes, err = art.StreamEvaluateDrift(c.streamN, pipeline.DriftConfig{
+				Policy: pol, MaxTargets: c.maxTargets,
+			})
+		} else {
+			streamRes, err = art.StreamEvaluate(c.streamN)
+		}
 	default:
 		res, err = art.Evaluate()
 	}
@@ -348,24 +395,67 @@ func runPipeline(c *cliFlags, mode string) {
 		fmt.Fprintf(os.Stderr, "smore: saved model bundle to %s\n", c.save)
 	}
 
+	// requireDrift turns the replay into an assertion the drift-smoke CI
+	// target can run without JSON parsing: the process exit code is the
+	// verdict.
+	checkDrift := func() {
+		if driftRes == nil || !c.requireDrift {
+			return
+		}
+		if !driftRes.SpawnedSecondTarget {
+			fatal("require-drift: no second target spawned over the second shift")
+		}
+		if !driftRes.BeatsBaseline {
+			fatal(fmt.Sprintf("require-drift: final second-shift accuracy %.3f does not beat the frozen single-target baseline %.3f",
+				driftRes.FinalB, driftRes.FrozenBaselineB))
+		}
+	}
+
 	if c.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		var out any = streamRes
-		if res != nil {
+		var out any
+		switch {
+		case res != nil:
 			res.Elapsed = elapsed
 			out = res
-		} else {
+		case driftRes != nil:
+			driftRes.Elapsed = elapsed
+			out = driftRes
+		default:
 			streamRes.Elapsed = elapsed
+			out = streamRes
 		}
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
+		checkDrift()
 		return
 	}
 	fmt.Printf("SMORE demo — dim=%d levels=%d ngram=%d sensors=%d classes=%d domains=%d+1\n",
 		cfg.Encoder.Dim, cfg.Encoder.Levels, cfg.Encoder.NGram, cfg.Encoder.Sensors,
 		cfg.Model.Classes, len(cfg.Data.Domains)-1)
+	if driftRes != nil {
+		fmt.Printf("  two-shift drift replay (policy %s, batches of ≤%d):\n", driftRes.DriftPolicy, c.streamN)
+		fmt.Printf("  phase A: baseline %.3f → adapted %.3f over %d batches\n",
+			driftRes.PhaseA.TargetBaseline, driftRes.PhaseA.TargetAdapted, driftRes.PhaseA.Batches)
+		fmt.Printf("  phase B (%s): frozen single-target baseline %.3f\n", driftRes.ShiftB, driftRes.FrozenBaselineB)
+		for i, acc := range driftRes.TrajectoryB {
+			fmt.Printf("    after batch %2d: B=%.3f A=%.3f\n", i+1, acc, driftRes.TrajectoryA[i])
+		}
+		fmt.Printf("  final: B=%.3f (%+.3f vs frozen) A=%.3f  spawned=%d retired=%d  elapsed: %s\n",
+			driftRes.FinalB, driftRes.FinalB-driftRes.FrozenBaselineB, driftRes.FinalA,
+			driftRes.TargetsSpawned, driftRes.TargetsRetired, elapsed)
+		for _, ti := range driftRes.Targets {
+			marker := ""
+			if ti.Active {
+				marker = " (active)"
+			}
+			fmt.Printf("    target %s: %d folds%s\n", ti.Name, ti.Folds, marker)
+		}
+		checkDrift()
+		return
+	}
 	if streamRes != nil {
 		fmt.Printf("  target baseline (no adapt):      %.3f\n", streamRes.TargetBaseline)
 		fmt.Printf("  streamed adaptation trajectory (%d batches of ≤%d):\n", streamRes.Batches, streamRes.BatchSize)
@@ -445,23 +535,18 @@ func runAblate(c *cliFlags) {
 	fmt.Print(md)
 }
 
-// writeTargetDump writes the artifacts' raw target windows — as a
-// ready-to-POST /v1/predict body — and the aligned labels to
-// prefix.windows.json / prefix.labels.json, for driving the serving
-// surface from scripts.
-func writeTargetDump(art *pipeline.Artifacts, prefix string) error {
-	windows, err := json.Marshal(map[string]any{"windows": art.TargetWindows})
+// writeSplitDump writes a split's raw windows — as a ready-to-POST
+// /v1/predict body — and the aligned labels to prefix.windows.json /
+// prefix.labels.json, for driving the serving surface from scripts.
+func writeSplitDump(windows [][][]float64, labels []int, prefix string) error {
+	raw, err := json.Marshal(map[string]any{"windows": windows})
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(prefix+".windows.json", windows, 0o644); err != nil {
+	if err := os.WriteFile(prefix+".windows.json", raw, 0o644); err != nil {
 		return err
 	}
-	labels := make([]int, len(art.Target))
-	for i, s := range art.Target {
-		labels[i] = s.Class
-	}
-	raw, err := json.Marshal(labels)
+	raw, err = json.Marshal(labels)
 	if err != nil {
 		return err
 	}

@@ -152,24 +152,53 @@ func (dm *domainModel) scores(hv hdc.Vector, dst []float64) {
 	protoScores(dm.protMat, dm.classCount, hv, dst)
 }
 
+// targetModel is one named continual-adaptation target domain: a domainModel
+// plus the bookkeeping the drift machinery needs. A target spawned by
+// SpawnTarget starts pending (protMat nil) and is initialized from the
+// similarity-weighted source mixture by the first fold addressed to it;
+// pending targets take no part in voting or persistence.
+type targetModel struct {
+	*domainModel
+	name     string
+	folds    int64 // folds applied to this target (Adapt*, AdaptTarget)
+	lastFold int64 // ensemble foldClock at the most recent fold; drives LRU retirement
+}
+
+// ready reports whether the target has been initialized by a fold and
+// therefore participates in voting and persistence.
+func (t *targetModel) ready() bool { return t.protMat != nil }
+
 // Ensemble is the multi-domain associative memory: one model per source
-// domain, combined at inference time by similarity-weighted voting, plus an
-// optional adapted target model.
+// domain, combined at inference time by similarity-weighted voting, plus a
+// set of named adapted target models (continual adaptation spawns one per
+// detected distribution shift; see SpawnTarget/RetireTarget/Rollback).
 //
 // Concurrency: the ensemble is a copy-on-write shadow behind an immutable
 // published Snapshot. Mutators — Train, Adapt*, ReadFrom, WriteTo,
-// ResetAdaptation — serialize on an internal mutex, fold into the shadow
-// state, and publish a fresh Snapshot with one atomic pointer swap. Every
-// read path (Predict*, ScoreInto, Adapted, AdaptedPrototypes, Accuracy)
-// goes through the current snapshot and is completely lock-free, so
-// predictions never stall behind an adaptation fold and always see either
-// the state before a fold or after it, never a half-rebuilt prototype.
+// SpawnTarget, RetireTarget, Rollback, ResetAdaptation — serialize on an
+// internal mutex, fold into the shadow state, and publish a fresh Snapshot
+// with one atomic pointer swap. Every read path (Predict*, ScoreInto,
+// Adapted, AdaptedPrototypes, Accuracy) goes through the current snapshot
+// and is completely lock-free, so predictions never stall behind an
+// adaptation fold and always see either the state before a fold or after
+// it, never a half-rebuilt prototype.
 type Ensemble struct {
 	mu      sync.Mutex // serializes mutators; read paths never take it
 	cfg     Config
 	domains []*domainModel
-	domMat  *hdc.Matrix  // packed source domain prototypes for domainWeights
-	adapted *domainModel // set by Adapt; nil until then
+	domMat  *hdc.Matrix // packed source domain prototypes for domainWeights
+
+	// targets is the set of adapted target domains, in spawn order. active
+	// indexes the fold destination (-1 when none); folds address it, or a
+	// target by name via AdaptTarget. foldClock is the logical clock behind
+	// LRU retirement; spawnSeq numbers auto-generated target names.
+	// checkpoint holds the canonical encoding of the state captured by the
+	// last SpawnTarget/RetireTarget, for Rollback; nil when none exists.
+	targets    []*targetModel
+	active     int
+	spawnSeq   int
+	foldClock  int64
+	checkpoint []byte
 
 	// strategy is the pluggable adaptation recipe (zero value = default).
 	// It has its own short mutex so Strategy() never blocks behind a long
@@ -192,6 +221,7 @@ func (m *Ensemble) publish() {
 		cfg:     m.cfg,
 		domains: make([]snapDomain, len(m.domains)),
 		domMat:  m.domMat.Clone(),
+		active:  -1,
 		pool:    &m.pool,
 	}
 	for i, dm := range m.domains {
@@ -200,14 +230,42 @@ func (m *Ensemble) publish() {
 			classCount: append([]int64(nil), dm.classCount...),
 		}
 	}
-	if m.adapted != nil {
-		ad := snapDomain{
-			protMat:    m.adapted.protMat.Clone(),
-			classCount: append([]int64(nil), m.adapted.classCount...),
+	// Only ready targets vote; a pending spawn has no prototypes yet.
+	for i, t := range m.targets {
+		if !t.ready() {
+			continue
 		}
-		s.adapted = &ad
+		if i == m.active {
+			s.active = len(s.targets)
+		}
+		s.targets = append(s.targets, snapDomain{
+			protMat:    t.protMat.Clone(),
+			classCount: append([]int64(nil), t.classCount...),
+		})
+	}
+	if len(s.targets) > 1 {
+		// Pack the target domain prototypes so the multi-target vote can
+		// weight every target in one kernel pass, mirroring domMat.
+		s.tgtMat = hdc.NewMatrix(len(s.targets), m.cfg.Dim)
+		row := 0
+		for _, t := range m.targets {
+			if !t.ready() {
+				continue
+			}
+			s.tgtMat.SetRow(row, t.domProt)
+			row++
+		}
 	}
 	m.snap.Store(s)
+}
+
+// activeLocked returns the current fold-destination target, or nil when none
+// exists. Callers must hold m.mu.
+func (m *Ensemble) activeLocked() *targetModel {
+	if m.active < 0 || m.active >= len(m.targets) {
+		return nil
+	}
+	return m.targets[m.active]
 }
 
 // Snapshot returns the currently published immutable view, or nil before
@@ -241,7 +299,7 @@ func New(cfg Config) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ensemble{cfg: cfg}, nil
+	return &Ensemble{cfg: cfg, active: -1}, nil
 }
 
 // SetStrategy installs the adaptation strategy used by subsequent Adapt*
@@ -450,6 +508,26 @@ func (m *Ensemble) AdaptIncremental(targets []hdc.Vector, workers int) (AdaptSta
 func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (AdaptStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.adaptLocked(targets, workers, incremental, m.activeLocked())
+}
+
+// AdaptTarget folds one batch of unlabeled target samples into the named
+// target domain (incrementally, like AdaptIncremental) and makes it the
+// active fold destination. The target must exist (spawn it first);
+// addressing an unknown name returns ErrUnknownTarget.
+func (m *Ensemble) AdaptTarget(name string, targets []hdc.Vector, workers int) (AdaptStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tgt := m.findTargetLocked(name)
+	if tgt == nil {
+		return AdaptStats{}, fmt.Errorf("%w: %q", ErrUnknownTarget, name)
+	}
+	return m.adaptLocked(targets, workers, true, tgt)
+}
+
+// adaptLocked runs one adaptation fold into tgt (nil means the implicit
+// first target, created on demand). Callers must hold m.mu.
+func (m *Ensemble) adaptLocked(targets []hdc.Vector, workers int, incremental bool, tgt *targetModel) (AdaptStats, error) {
 	if len(m.domains) == 0 {
 		return AdaptStats{}, fmt.Errorf("%w: Adapt before Train", ErrNotTrained)
 	}
@@ -465,22 +543,25 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 	cfg := m.cfg
 	strat := m.Strategy() // stratMu nests inside mu, never the reverse
 	pool := parallel.NewPool(workers)
-	tgt := m.adapted
-	if !incremental || tgt == nil {
-		tgt = newDomainModel(-1, cfg)
+	if tgt == nil {
+		tgt = m.addTargetLocked("")
+	}
+	if !incremental || !tgt.ready() {
+		dm := newDomainModel(-1, cfg)
 		// Bundle the target distribution and weight each source domain's
 		// contribution to the initial target prototypes by its similarity.
 		for _, hv := range targets {
-			tgt.domAcc.Add(hv, 1)
+			dm.domAcc.Add(hv, 1)
 		}
-		weights := m.domainWeights(tgt.domAcc.Majority())
-		for i, dm := range m.domains {
-			for c := range tgt.classAcc {
-				tgt.classAcc[c].AddScaled(dm.classAcc[c], weights[i])
-				tgt.classCount[c] += dm.classCount[c]
+		weights := m.domainWeights(dm.domAcc.Majority())
+		for i, src := range m.domains {
+			for c := range dm.classAcc {
+				dm.classAcc[c].AddScaled(src.classAcc[c], weights[i])
+				dm.classCount[c] += src.classCount[c]
 			}
 		}
-		tgt.rebuildPrototypes()
+		dm.rebuildPrototypes()
+		tgt.domainModel = dm
 	} else {
 		// Fold the new batch into the target domain prototype so later
 		// domain-similarity decisions see the full target distribution.
@@ -563,7 +644,15 @@ func (m *Ensemble) adapt(targets []hdc.Vector, workers int, incremental bool) (A
 		}
 		tgt.rebuildPrototypes()
 	}
-	m.adapted = tgt
+	tgt.folds++
+	m.foldClock++
+	tgt.lastFold = m.foldClock
+	for i, t := range m.targets {
+		if t == tgt {
+			m.active = i
+			break
+		}
+	}
 	m.publish()
 	return stats, nil
 }
@@ -586,12 +675,17 @@ func (m *Ensemble) Adapted() bool {
 	return s != nil && s.Adapted()
 }
 
-// ResetAdaptation discards the adapted target model and republishes the
-// source-only snapshot (when the ensemble has been trained).
+// ResetAdaptation discards every adapted target model — and the rollback
+// checkpoint — and republishes the source-only snapshot (when the ensemble
+// has been trained).
 func (m *Ensemble) ResetAdaptation() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.adapted = nil
+	m.targets = nil
+	m.active = -1
+	m.spawnSeq = 0
+	m.foldClock = 0
+	m.checkpoint = nil
 	if len(m.domains) > 0 {
 		m.publish()
 	}

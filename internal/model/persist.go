@@ -12,28 +12,40 @@ import (
 
 // Wire format (all integers little-endian):
 //
-//	magic "SME1" or "SME2"
+//	magic "SME1", "SME2", or "SME3"
 //	config: uint32 Dim, uint32 Classes, uint32 RetrainEpochs,
 //	        uint32 AdaptEpochs, float64 Confidence, float64 AdaptRate,
 //	        float64 TopFrac
-//	(SME2 only) strategy section: 3 × (uint32 length + name bytes) for the
+//	(SME2/SME3) strategy section: 3 × (uint32 length + name bytes) for the
 //	        confidence rule, schedule, and update rule
-//	uint32 domain count, uint8 adapted flag
-//	per domain (then the adapted target model, if the flag is set):
-//	    int32 id
-//	    Classes × int64 per-class sample count
-//	    Classes × framed class accumulator (uint32 length + hdc bytes)
-//	    framed domain accumulator
+//	SME1/SME2 body:
+//	    uint32 domain count, uint8 adapted flag
+//	    per domain (then the adapted target model, if the flag is set):
+//	        int32 id
+//	        Classes × int64 per-class sample count
+//	        Classes × framed class accumulator (uint32 length + hdc bytes)
+//	        framed domain accumulator
+//	SME3 body (multi-target):
+//	    uint32 domain count, uint32 target count,
+//	    uint32 active target index (0xFFFFFFFF when none)
+//	    per domain: the same domain record as SME1
+//	    per target: uint32 name length + name bytes, uint64 fold count,
+//	        then the same domain record as SME1
 //
 // The binarized prototypes are not stored: Majority is deterministic, so
 // they are rebuilt bit-identically on load. The magic doubles as the format
-// version. An ensemble on the default strategy serializes as "SME1" —
-// byte-identical to every pre-strategy artifact, including the committed
-// golden — and only a non-default strategy promotes the output to "SME2";
-// both versions stay readable, and the strategy choice round-trips.
+// version. An ensemble whose adapted state has the default single-target
+// shape — no target, or exactly one named "t0" and active — serializes as
+// "SME1" on the default strategy (byte-identical to every pre-strategy
+// artifact, including the committed golden) or "SME2" on a non-default one;
+// only a genuinely multi-target (or renamed/inactive-target) state promotes
+// the output to "SME3". All versions stay readable, and every choice
+// round-trips: the codec is canonical (save → load → save is
+// byte-identical), which is what makes checkpoints and Rollback exact.
 const (
 	ensembleMagic   = "SME1"
 	ensembleMagicV2 = "SME2"
+	ensembleMagicV3 = "SME3"
 
 	// maxDomains bounds the domain count accepted by ReadFrom so a corrupt
 	// header cannot drive an unbounded allocation loop.
@@ -46,43 +58,82 @@ const (
 	// first Adapt call (and, in a server, every reader behind its lock).
 	maxEpochs = 1 << 20
 	// maxStrategyName bounds the length of a serialized strategy name so a
-	// corrupt SME2 header cannot drive a huge allocation.
+	// corrupt SME2/SME3 header cannot drive a huge allocation.
 	maxStrategyName = 64
+	// maxTargetsLoad bounds the SME3 target count on load. Far above what
+	// any sane drift policy spawns, far below an allocation bomb.
+	maxTargetsLoad = 256
+	// noActiveTarget is the SME3 sentinel for "no active target" (the
+	// active slot was a pending spawn, which does not persist).
+	noActiveTarget = 0xFFFFFFFF
 )
 
-// WriteTo serializes the ensemble — configuration, every source domain's
-// class/domain accumulators and per-class counts, and the adapted target
-// model if present — in the versioned format read by ReadFrom. Staged
-// accumulator state is flushed first (mutating internal representation, not
-// accumulated values), so the output is canonical: saving, loading, and
-// saving again yields byte-identical output, and the loaded ensemble
-// predicts and continues adapting exactly like the original.
-func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
-	// Serialization flushes staged accumulator state, so it is a mutator
-	// even though the accumulated values don't change: take the mutator
-	// lock. Predictions keep flowing off the published snapshot meanwhile.
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// ensembleState is a fully parsed, validated serialized ensemble — the
+// bridge between readState (pure parsing, no locks) and installLocked
+// (state swap under the mutator lock). Rollback reuses the same pair to
+// restore a checkpoint.
+type ensembleState struct {
+	cfg     Config
+	strat   Strategy
+	domains []*domainModel
+	targets []*targetModel
+	active  int
+}
+
+// persistedTargets returns the ready targets (pending spawns have no
+// prototypes and do not persist) and the index of the active target within
+// that order, or -1 when the active target is pending or absent. Callers
+// must hold m.mu.
+func (m *Ensemble) persistedTargets() ([]*targetModel, int) {
+	var out []*targetModel
+	active := -1
+	for i, t := range m.targets {
+		if !t.ready() {
+			continue
+		}
+		if i == m.active {
+			active = len(out)
+		}
+		out = append(out, t)
+	}
+	return out, active
+}
+
+// encodeLocked serializes the ensemble into the newest format that can
+// represent it losslessly (see the wire-format comment), returning the
+// bytes. Serialization flushes staged accumulator state, so it is a mutator
+// even though the accumulated values don't change; callers must hold m.mu.
+func (m *Ensemble) encodeLocked() ([]byte, error) {
 	if len(m.domains) == 0 {
-		return 0, fmt.Errorf("model: cannot serialize an untrained ensemble")
+		return nil, fmt.Errorf("model: cannot serialize an untrained ensemble")
 	}
 	strat := m.Strategy() // stratMu nests inside mu, never the reverse
+	targets, active := m.persistedTargets()
+	// The historical single-target shape: nothing adapted, or exactly one
+	// target with the auto-generated first name that is also the fold
+	// destination. Anything else needs the SME3 target section.
+	simple := len(targets) == 0 || (len(targets) == 1 && targets[0].name == "t0" && active == 0)
 	var buf bytes.Buffer
-	if strat.isDefault() {
+	switch {
+	case simple && strat.isDefault():
 		buf.WriteString(ensembleMagic)
-	} else {
+	case simple:
 		buf.WriteString(ensembleMagicV2)
+	default:
+		buf.WriteString(ensembleMagicV3)
 	}
+	version := buf.String()
 	putUint32 := func(v uint32) {
 		var b [4]byte
 		binary.LittleEndian.PutUint32(b[:], v)
 		buf.Write(b[:])
 	}
-	putFloat64 := func(v float64) {
+	putUint64 := func(v uint64) {
 		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(b[:], v)
 		buf.Write(b[:])
 	}
+	putFloat64 := func(v float64) { putUint64(math.Float64bits(v)) }
 	putUint32(uint32(m.cfg.Dim))
 	putUint32(uint32(m.cfg.Classes))
 	putUint32(uint32(m.cfg.RetrainEpochs))
@@ -90,20 +141,13 @@ func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
 	putFloat64(m.cfg.Confidence)
 	putFloat64(m.cfg.AdaptRate)
 	putFloat64(m.cfg.TopFrac)
-	if !strat.isDefault() {
+	if version != ensembleMagic {
 		conf, sched, upd := strat.Names()
 		for _, name := range []string{conf, sched, upd} {
 			putUint32(uint32(len(name)))
 			buf.WriteString(name)
 		}
 	}
-
-	putUint32(uint32(len(m.domains)))
-	adapted := byte(0)
-	if m.adapted != nil {
-		adapted = 1
-	}
-	buf.WriteByte(adapted)
 
 	putAcc := func(acc *hdc.Accumulator) error {
 		b, err := acc.MarshalBinary()
@@ -115,13 +159,9 @@ func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
 		return nil
 	}
 	writeDomain := func(dm *domainModel) error {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], uint32(int32(dm.id)))
-		buf.Write(b[:])
-		var cb [8]byte
+		putUint32(uint32(int32(dm.id)))
 		for _, n := range dm.classCount {
-			binary.LittleEndian.PutUint64(cb[:], uint64(n))
-			buf.Write(cb[:])
+			putUint64(uint64(n))
 		}
 		for _, acc := range dm.classAcc {
 			if err := putAcc(acc); err != nil {
@@ -130,35 +170,77 @@ func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
 		}
 		return putAcc(dm.domAcc)
 	}
+
+	putUint32(uint32(len(m.domains)))
+	if version == ensembleMagicV3 {
+		putUint32(uint32(len(targets)))
+		if active < 0 {
+			putUint32(noActiveTarget)
+		} else {
+			putUint32(uint32(active))
+		}
+	} else {
+		adapted := byte(0)
+		if len(targets) == 1 {
+			adapted = 1
+		}
+		buf.WriteByte(adapted)
+	}
 	for _, dm := range m.domains {
 		if err := writeDomain(dm); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
-	if m.adapted != nil {
-		if err := writeDomain(m.adapted); err != nil {
-			return 0, err
+	for _, t := range targets {
+		if version == ensembleMagicV3 {
+			putUint32(uint32(len(t.name)))
+			buf.WriteString(t.name)
+			putUint64(uint64(t.folds))
+		}
+		if err := writeDomain(t.domainModel); err != nil {
+			return nil, err
 		}
 	}
-	n, err := w.Write(buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// WriteTo serializes the ensemble — configuration, strategy, every source
+// domain's class/domain accumulators and per-class counts, and every ready
+// adapted target model — in the versioned format read by ReadFrom. The
+// output is canonical: saving, loading, and saving again yields
+// byte-identical output, and the loaded ensemble predicts and continues
+// adapting exactly like the original.
+func (m *Ensemble) WriteTo(w io.Writer) (int64, error) {
+	// Serialization flushes staged accumulator state, so it is a mutator
+	// even though the accumulated values don't change: take the mutator
+	// lock. Predictions keep flowing off the published snapshot meanwhile.
+	m.mu.Lock()
+	b, err := m.encodeLocked()
+	m.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
 	return int64(n), err
 }
 
-// ReadFrom replaces the ensemble's state with one deserialized from r (the
-// format written by WriteTo), validating the configuration, bounding every
-// allocation by the declared and checked sizes, and rebuilding the binarized
-// prototypes. It returns the number of bytes consumed.
-func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
+// readState parses a serialized ensemble from r (any format written by
+// WriteTo) into a detached ensembleState, validating the configuration and
+// bounding every allocation by the declared and checked sizes. It touches
+// no Ensemble, so callers can run it without holding any lock and swap the
+// result in afterwards with installLocked.
+func readState(r io.Reader) (*ensembleState, int64, error) {
 	cr := &countReader{r: r}
 	var magic [4]byte
 	if err := cr.read(magic[:]); err != nil {
-		return cr.n, fmt.Errorf("model: reading header: %w", err)
+		return nil, cr.n, fmt.Errorf("model: reading header: %w", err)
 	}
 	version := string(magic[:])
-	if version != ensembleMagic && version != ensembleMagicV2 {
-		return cr.n, fmt.Errorf("model: bad ensemble magic %q (unsupported version?)", magic[:])
+	if version != ensembleMagic && version != ensembleMagicV2 && version != ensembleMagicV3 {
+		return nil, cr.n, fmt.Errorf("model: bad ensemble magic %q (unsupported version?)", magic[:])
 	}
-	var cfg Config
+	st := &ensembleState{active: -1}
+	cfg := &st.cfg
 	var u32 [4]byte
 	var u64 [8]byte
 	readUint32 := func(dst *int) error {
@@ -185,68 +267,90 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 		func() error { return readFloat64(&cfg.TopFrac) },
 	} {
 		if err := f(); err != nil {
-			return cr.n, fmt.Errorf("model: reading config: %w", err)
+			return nil, cr.n, fmt.Errorf("model: reading config: %w", err)
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		return cr.n, fmt.Errorf("model: loaded config invalid: %w", err)
+		return nil, cr.n, fmt.Errorf("model: loaded config invalid: %w", err)
 	}
 	if cfg.Classes > maxClasses {
-		return cr.n, fmt.Errorf("model: loaded Classes %d exceeds maximum %d", cfg.Classes, maxClasses)
+		return nil, cr.n, fmt.Errorf("model: loaded Classes %d exceeds maximum %d", cfg.Classes, maxClasses)
 	}
 	if cfg.RetrainEpochs > maxEpochs || cfg.AdaptEpochs > maxEpochs {
-		return cr.n, fmt.Errorf("model: loaded epoch counts %d/%d exceed maximum %d",
+		return nil, cr.n, fmt.Errorf("model: loaded epoch counts %d/%d exceed maximum %d",
 			cfg.RetrainEpochs, cfg.AdaptEpochs, maxEpochs)
 	}
 
-	strat := DefaultStrategy()
-	if version == ensembleMagicV2 {
-		readName := func() (string, error) {
-			var n int
-			if err := readUint32(&n); err != nil {
-				return "", err
-			}
-			if n > maxStrategyName {
-				return "", fmt.Errorf("name length %d exceeds maximum %d", n, maxStrategyName)
-			}
-			b := make([]byte, n)
-			if err := cr.read(b); err != nil {
-				return "", err
-			}
-			return string(b), nil
+	readName := func(limit int) (string, error) {
+		var n int
+		if err := readUint32(&n); err != nil {
+			return "", err
 		}
+		if n > limit {
+			return "", fmt.Errorf("name length %d exceeds maximum %d", n, limit)
+		}
+		b := make([]byte, n)
+		if err := cr.read(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	st.strat = DefaultStrategy()
+	if version != ensembleMagic {
 		var names [3]string
 		for i := range names {
-			name, err := readName()
+			name, err := readName(maxStrategyName)
 			if err != nil {
-				return cr.n, fmt.Errorf("model: reading strategy: %w", err)
+				return nil, cr.n, fmt.Errorf("model: reading strategy: %w", err)
 			}
 			names[i] = name
 		}
 		var err error
-		if strat, err = ParseStrategy(names[0], names[1], names[2]); err != nil {
-			return cr.n, fmt.Errorf("model: loaded strategy invalid: %w", err)
+		if st.strat, err = ParseStrategy(names[0], names[1], names[2]); err != nil {
+			return nil, cr.n, fmt.Errorf("model: loaded strategy invalid: %w", err)
 		}
 	}
 
 	var numDomains int
 	if err := readUint32(&numDomains); err != nil {
-		return cr.n, fmt.Errorf("model: reading domain count: %w", err)
+		return nil, cr.n, fmt.Errorf("model: reading domain count: %w", err)
 	}
 	if numDomains == 0 {
 		// An ensemble without source domains cannot predict or adapt;
 		// loading one would boot a server that panics on every query.
-		return cr.n, fmt.Errorf("model: serialized ensemble has no source domains")
+		return nil, cr.n, fmt.Errorf("model: serialized ensemble has no source domains")
 	}
 	if numDomains > maxDomains {
-		return cr.n, fmt.Errorf("model: domain count %d exceeds maximum %d", numDomains, maxDomains)
+		return nil, cr.n, fmt.Errorf("model: domain count %d exceeds maximum %d", numDomains, maxDomains)
 	}
-	var flag [1]byte
-	if err := cr.read(flag[:]); err != nil {
-		return cr.n, fmt.Errorf("model: reading adapted flag: %w", err)
-	}
-	if flag[0] > 1 {
-		return cr.n, fmt.Errorf("model: adapted flag %d not 0 or 1", flag[0])
+	numTargets := 0
+	activeU := noActiveTarget
+	if version == ensembleMagicV3 {
+		if err := readUint32(&numTargets); err != nil {
+			return nil, cr.n, fmt.Errorf("model: reading target count: %w", err)
+		}
+		if numTargets > maxTargetsLoad {
+			return nil, cr.n, fmt.Errorf("model: target count %d exceeds maximum %d", numTargets, maxTargetsLoad)
+		}
+		var a int
+		if err := readUint32(&a); err != nil {
+			return nil, cr.n, fmt.Errorf("model: reading active target index: %w", err)
+		}
+		activeU = a
+		if activeU != noActiveTarget && activeU >= numTargets {
+			return nil, cr.n, fmt.Errorf("model: active target index %d outside %d targets", activeU, numTargets)
+		}
+	} else {
+		var flag [1]byte
+		if err := cr.read(flag[:]); err != nil {
+			return nil, cr.n, fmt.Errorf("model: reading adapted flag: %w", err)
+		}
+		if flag[0] > 1 {
+			return nil, cr.n, fmt.Errorf("model: adapted flag %d not 0 or 1", flag[0])
+		}
+		if flag[0] == 1 {
+			numTargets, activeU = 1, 0
+		}
 	}
 
 	readAcc := func() (*hdc.Accumulator, error) {
@@ -302,38 +406,93 @@ func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
 		return dm, nil
 	}
 
-	domains := make([]*domainModel, 0, min(numDomains, 64))
+	st.domains = make([]*domainModel, 0, min(numDomains, 64))
 	for i := range numDomains {
 		dm, err := readDomain()
 		if err != nil {
-			return cr.n, fmt.Errorf("model: reading domain %d: %w", i, err)
+			return nil, cr.n, fmt.Errorf("model: reading domain %d: %w", i, err)
 		}
-		domains = append(domains, dm)
+		st.domains = append(st.domains, dm)
 	}
-	var adapted *domainModel
-	if flag[0] == 1 {
+	for i := range numTargets {
+		t := &targetModel{name: "t0", folds: 1}
+		if version == ensembleMagicV3 {
+			name, err := readName(maxTargetName)
+			if err != nil {
+				return nil, cr.n, fmt.Errorf("model: reading target %d name: %w", i, err)
+			}
+			if name == "" {
+				return nil, cr.n, fmt.Errorf("model: target %d has an empty name", i)
+			}
+			for _, o := range st.targets {
+				if o.name == name {
+					return nil, cr.n, fmt.Errorf("model: duplicate target name %q", name)
+				}
+			}
+			if err := cr.read(u64[:]); err != nil {
+				return nil, cr.n, fmt.Errorf("model: reading target %d folds: %w", i, err)
+			}
+			folds := int64(binary.LittleEndian.Uint64(u64[:]))
+			if folds < 0 {
+				return nil, cr.n, fmt.Errorf("model: target %d has negative fold count", i)
+			}
+			t.name, t.folds = name, folds
+		}
 		dm, err := readDomain()
 		if err != nil {
-			return cr.n, fmt.Errorf("model: reading adapted model: %w", err)
+			return nil, cr.n, fmt.Errorf("model: reading target %d: %w", i, err)
 		}
-		adapted = dm
+		t.domainModel = dm
+		st.targets = append(st.targets, t)
 	}
+	if activeU != noActiveTarget {
+		st.active = activeU
+	}
+	return st, cr.n, nil
+}
 
-	m.mu.Lock()
-	m.cfg = cfg
-	m.domains = domains
-	m.adapted = adapted
-	m.SetStrategy(strat) // stratMu nests inside mu; a reload always reflects the file
+// installLocked swaps a parsed ensembleState in as the ensemble's current
+// state and publishes a fresh snapshot. The fold clock is rebuilt in target
+// order (persisted order is spawn order, the LRU approximation the clock
+// exists for) and the rollback checkpoint is cleared: a loaded state is a
+// new baseline, not a transition to undo. Callers must hold m.mu.
+func (m *Ensemble) installLocked(st *ensembleState) {
+	m.cfg = st.cfg
+	m.domains = st.domains
+	m.targets = st.targets
+	m.active = st.active
+	m.spawnSeq = 0 // auto-naming re-probes for free names on demand
+	m.foldClock = int64(len(st.targets))
+	for i, t := range m.targets {
+		t.lastFold = int64(i + 1)
+	}
+	m.checkpoint = nil
+	m.SetStrategy(st.strat) // stratMu nests inside mu; a reload always reflects the file
 	m.rebuildDomainMatrix()
 	m.publish()
+}
+
+// ReadFrom replaces the ensemble's state with one deserialized from r (the
+// format written by WriteTo), validating the configuration, bounding every
+// allocation by the declared and checked sizes, and rebuilding the binarized
+// prototypes. Parsing runs before the mutator lock is taken, so a slow or
+// corrupt stream never stalls concurrent folds. It returns the number of
+// bytes consumed.
+func (m *Ensemble) ReadFrom(r io.Reader) (int64, error) {
+	st, n, err := readState(r)
+	if err != nil {
+		return n, err
+	}
+	m.mu.Lock()
+	m.installLocked(st)
 	m.mu.Unlock()
-	return cr.n, nil
+	return n, nil
 }
 
 // Decode reads a serialized ensemble (the format written by WriteTo) into a
 // fresh Ensemble.
 func Decode(r io.Reader) (*Ensemble, error) {
-	m := &Ensemble{}
+	m := &Ensemble{active: -1}
 	if _, err := m.ReadFrom(r); err != nil {
 		return nil, err
 	}

@@ -12,12 +12,13 @@ import (
 // Snapshot is an immutable, self-contained view of a trained ensemble: the
 // packed per-domain class-prototype matrices, the packed domain-prototype
 // matrix, the per-class sample counts, the configuration, and the adapted
-// target model if one exists. An Ensemble publishes a fresh snapshot after
-// every successful Train, AdaptBatch, AdaptIncremental, ReadFrom, and
-// ResetAdaptation via a single atomic pointer swap, so every scoring method
-// on a snapshot is lock-free, allocation-free in steady state, and safe for
-// any number of concurrent callers: a prediction either sees the state
-// before a fold or after it, never a half-rebuilt prototype matrix.
+// target models if any exist. An Ensemble publishes a fresh snapshot after
+// every successful Train, Adapt*, ReadFrom, SpawnTarget, RetireTarget,
+// Rollback, and ResetAdaptation via a single atomic pointer swap, so every
+// scoring method on a snapshot is lock-free, allocation-free in steady
+// state, and safe for any number of concurrent callers: a prediction either
+// sees the state before a fold or after it, never a half-rebuilt prototype
+// matrix.
 //
 // Snapshots share nothing mutable with the ensemble that produced them —
 // the matrices are deep copies — so holding one across further adaptation
@@ -26,7 +27,16 @@ type Snapshot struct {
 	cfg     Config
 	domains []snapDomain
 	domMat  *hdc.Matrix // packed source domain prototypes for weighting
-	adapted *snapDomain // nil until adaptation has produced a target model
+
+	// targets holds the initialized adapted target domains, in spawn order.
+	// One target is scored directly (the historical single-target fast
+	// path, byte-identical); several vote weighted by the similarity of the
+	// query to each target's domain prototype, packed in tgtMat (nil until
+	// a second target exists). active indexes the fold destination, -1 when
+	// none is initialized.
+	targets []snapDomain
+	tgtMat  *hdc.Matrix
+	active  int
 
 	// pool is shared with the publishing ensemble across snapshots, so a
 	// fold does not cold-start the zero-alloc scratch on the predict path.
@@ -96,11 +106,15 @@ func resize(s []float64, n int) []float64 {
 // Config returns the configuration the snapshot was published with.
 func (s *Snapshot) Config() Config { return s.cfg }
 
-// Adapted reports whether the snapshot carries an adapted target model.
-func (s *Snapshot) Adapted() bool { return s.adapted != nil }
+// Adapted reports whether the snapshot carries at least one adapted target
+// model.
+func (s *Snapshot) Adapted() bool { return len(s.targets) > 0 }
 
 // NumDomains returns the number of source domains.
 func (s *Snapshot) NumDomains() int { return len(s.domains) }
+
+// NumTargets returns the number of initialized adapted target domains.
+func (s *Snapshot) NumTargets() int { return len(s.targets) }
 
 // weightsInto fills w (one slot per row of domMat) with
 // similarity-proportional weights of hv against every domain prototype,
@@ -159,12 +173,52 @@ func (s *Snapshot) ensembleScoresInto(hv hdc.Vector, dst []float64, sc *scoreScr
 	}
 }
 
+// targetScoresInto writes per-class scores of hv under the
+// similarity-weighted target ensemble into dst — the same abstaining
+// weighted mean as ensembleScoresInto, but over the adapted target domains
+// with weights from the packed target-prototype matrix. Only called with
+// two or more targets; a single target is scored directly (byte-identical
+// to the historical single-target path).
+func (s *Snapshot) targetScoresInto(hv hdc.Vector, dst []float64, sc *scoreScratch) {
+	wsum, scores, weights := sc.wsum, sc.scores, sc.weights
+	for c := range dst {
+		dst[c] = 0
+		wsum[c] = 0
+	}
+	weightsInto(s.tgtMat, hv, weights[:len(s.targets)])
+	for i := range s.targets {
+		tm := &s.targets[i]
+		tm.scores(hv, scores)
+		for c, sv := range scores {
+			if tm.classCount[c] == 0 {
+				continue
+			}
+			dst[c] += weights[i] * sv
+			wsum[c] += weights[i]
+		}
+	}
+	for c := range dst {
+		if wsum[c] == 0 {
+			dst[c] = math.Inf(-1)
+			continue
+		}
+		dst[c] /= wsum[c]
+	}
+}
+
+// scratch returns a pooled scoring scratch sized for every vote the
+// snapshot can run (source-domain or multi-target weights).
+func (s *Snapshot) scratch() *scoreScratch {
+	return s.pool.get(s.cfg.Classes, max(len(s.domains), len(s.targets)))
+}
+
 // ScoreInto writes the snapshot's per-class scores for hv into dst, which
-// must hold exactly Config().Classes slots: the adapted target model's
-// prototype similarities when the snapshot is adapted, otherwise the
-// similarity-weighted source-ensemble scores. Classes the active model has
-// never seen score -Inf. The pass allocates nothing in steady state, so
-// batch callers can reuse one dst across queries.
+// must hold exactly Config().Classes slots: a single adapted target model's
+// prototype similarities when one exists, the similarity-weighted vote over
+// all targets when several do, otherwise the similarity-weighted
+// source-ensemble scores. Classes the active model has never seen score
+// -Inf. The pass allocates nothing in steady state, so batch callers can
+// reuse one dst across queries.
 //
 //smore:hotpath
 func (s *Snapshot) ScoreInto(hv hdc.Vector, dst []float64) error {
@@ -174,26 +228,34 @@ func (s *Snapshot) ScoreInto(hv hdc.Vector, dst []float64) error {
 	if len(dst) != s.cfg.Classes {
 		return fmt.Errorf("%w: dst holds %d scores, want %d", ErrInvalidTargets, len(dst), s.cfg.Classes)
 	}
-	if s.adapted != nil {
-		s.adapted.scores(hv, dst)
+	if len(s.targets) == 1 {
+		s.targets[0].scores(hv, dst)
 		return nil
 	}
-	sc := s.pool.get(s.cfg.Classes, len(s.domains))
-	s.ensembleScoresInto(hv, dst, sc)
+	sc := s.scratch()
+	if len(s.targets) > 1 {
+		s.targetScoresInto(hv, dst, sc)
+	} else {
+		s.ensembleScoresInto(hv, dst, sc)
+	}
 	s.pool.put(sc)
 	return nil
 }
 
-// Predict classifies hv: with the adapted target model when the snapshot
-// carries one, otherwise with the similarity-weighted source ensemble.
+// Predict classifies hv: with the adapted target model(s) when the snapshot
+// carries any, otherwise with the similarity-weighted source ensemble.
 //
 //smore:hotpath
 func (s *Snapshot) Predict(hv hdc.Vector) int {
-	sc := s.pool.get(s.cfg.Classes, len(s.domains))
+	sc := s.scratch()
 	defer s.pool.put(sc)
-	if s.adapted != nil {
-		s.adapted.scores(hv, sc.scores)
+	switch {
+	case len(s.targets) == 1:
+		s.targets[0].scores(hv, sc.scores)
 		return argmax(sc.scores)
+	case len(s.targets) > 1:
+		s.targetScoresInto(hv, sc.total, sc)
+		return argmax(sc.total)
 	}
 	s.ensembleScoresInto(hv, sc.total, sc)
 	return argmax(sc.total)
@@ -202,7 +264,7 @@ func (s *Snapshot) Predict(hv hdc.Vector) int {
 // PredictSource classifies hv with the source ensemble only, ignoring any
 // adapted model. This is the no-adapt baseline.
 func (s *Snapshot) PredictSource(hv hdc.Vector) int {
-	sc := s.pool.get(s.cfg.Classes, len(s.domains))
+	sc := s.scratch()
 	defer s.pool.put(sc)
 	s.ensembleScoresInto(hv, sc.total, sc)
 	return argmax(sc.total)
@@ -231,17 +293,18 @@ func (s *Snapshot) PredictSourceBatch(hvs []hdc.Vector, workers int) []int {
 	return out
 }
 
-// AdaptedPrototypes returns the binarized class prototypes of the adapted
-// target model, or nil when the snapshot is not adapted. The vectors are
-// read-only views into the snapshot's immutable packed matrix, so they stay
-// stable no matter how much the publishing ensemble keeps adapting.
+// AdaptedPrototypes returns the binarized class prototypes of the active
+// adapted target model, or nil when the snapshot carries none. The vectors
+// are read-only views into the snapshot's immutable packed matrix, so they
+// stay stable no matter how much the publishing ensemble keeps adapting.
 func (s *Snapshot) AdaptedPrototypes() []hdc.Vector {
-	if s.adapted == nil {
+	if s.active < 0 || s.active >= len(s.targets) {
 		return nil
 	}
-	out := make([]hdc.Vector, s.adapted.protMat.Rows())
+	tm := &s.targets[s.active]
+	out := make([]hdc.Vector, tm.protMat.Rows())
 	for c := range out {
-		out[c] = s.adapted.protMat.Row(c)
+		out[c] = tm.protMat.Row(c)
 	}
 	return out
 }

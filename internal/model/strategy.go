@@ -116,6 +116,8 @@ func ParseConfidenceRule(name string) (ConfidenceRule, error) {
 		return MarginConfidence{}, nil
 	case "entropy":
 		return EntropyConfidence{}, nil
+	case "entropy-cal":
+		return EntropyCalConfidence{}, nil
 	}
 	return nil, fmt.Errorf("%w: confidence rule %q (have: %s)", ErrUnknownStrategy, name, strings.Join(ConfidenceRuleNames(), ", "))
 }
@@ -145,7 +147,7 @@ func ParseUpdateRule(name string) (UpdateRule, error) {
 }
 
 // ConfidenceRuleNames lists the registered confidence rules.
-func ConfidenceRuleNames() []string { return []string{"margin", "entropy"} }
+func ConfidenceRuleNames() []string { return []string{"margin", "entropy", "entropy-cal"} }
 
 // ScheduleNames lists the registered schedules.
 func ScheduleNames() []string { return []string{"constant", "anneal"} }
@@ -235,6 +237,66 @@ func (EntropyConfidence) Assess(scores []float64) (int, float64, float64) {
 		if conf < 0 { // guard float rounding below the H ≤ ln(n) bound
 			conf = 0
 		}
+	}
+	return best, conf, scores[best]
+}
+
+// EntropyCalConfidence is the entropy rule calibrated to the margin
+// threshold scale. The raw entropy rule normalizes (1+cos)/2 vote weights,
+// and on realistic score vectors — cosines clustered in a narrow positive
+// band — those weights are near-uniform, so H sits within rounding of
+// ln(n) and the confidence collapses to ~1e-4: below any usable margin
+// threshold, so almost no pseudo-label is ever accepted. The calibrated
+// rule min-shifts first — weights are s_i − s_min over the classes with
+// finite scores, zeroing the weakest class and spending the entropy budget
+// on the contrast that actually separates the candidates — and then scales
+// the peakedness 1 − H/ln(n) by the score spread s_best − s_min, putting
+// the result in cosine-difference units. For two classes this reduces
+// exactly to the margin rule (H is 0, the spread is the margin), and for
+// more classes it is the spread discounted by how much of the mass the
+// runner-up classes hold, so Config.Confidence keeps meaning one thing
+// across rules. An uninformative all-equal vector still scores exactly 0.
+type EntropyCalConfidence struct{}
+
+// Name implements ConfidenceRule.
+func (EntropyCalConfidence) Name() string { return "entropy-cal" }
+
+// Assess implements ConfidenceRule.
+func (EntropyCalConfidence) Assess(scores []float64) (int, float64, float64) {
+	best := argmax(scores)
+	low := math.Inf(1)
+	finite := 0
+	for _, s := range scores {
+		// Never-trained classes score -Inf (and poisoned entries NaN);
+		// they carry no probability mass and must not dilute the entropy.
+		if math.IsNaN(s) || math.IsInf(s, -1) {
+			continue
+		}
+		finite++
+		if s < low {
+			low = s
+		}
+	}
+	sum, wlogw := 0.0, 0.0
+	for _, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, -1) {
+			continue
+		}
+		if w := s - low; w > 0 {
+			sum += w
+			wlogw += w * math.Log(w)
+		}
+	}
+	conf := 0.0
+	if finite > 1 && sum > 0 {
+		// H of the normalized min-shifted weights, computed without
+		// materializing p: H = ln(sum) − Σ w·ln(w) / sum.
+		h := math.Log(sum) - wlogw/sum
+		peak := 1 - h/math.Log(float64(finite))
+		if peak < 0 { // guard float rounding below the H ≤ ln(n) bound
+			peak = 0
+		}
+		conf = peak * (rank(scores[best]) - low)
 	}
 	return best, conf, scores[best]
 }

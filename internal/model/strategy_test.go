@@ -246,6 +246,74 @@ func TestStrategyChangesAcceptedCounts(t *testing.T) {
 	}
 }
 
+// TestEntropyCalAcceptsSaneFraction pins the calibration contract of the
+// entropy-cal confidence rule: at the default margin-tuned threshold the raw
+// entropy rule's near-uniform vote weights make it nearly inert (H within
+// rounding of ln(n)), while the min-shifted calibrated variant must accept a
+// sane fraction of pseudo-labels — well above raw entropy, and not every
+// sample of a noisy stream either.
+func TestEntropyCalAcceptsSaneFraction(t *testing.T) {
+	run := func(rule string) (AdaptStats, int) {
+		rng := testRNG(47)
+		protos, samples := cluster(rng, 4, 20, testDim/3, 0)
+		m, err := New(testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat, err := ParseStrategy(rule, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetStrategy(strat)
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var targets []hdc.Vector
+		for c := range 4 {
+			for range 15 {
+				// Heavier noise than the separable combo test: 2/5 of the
+				// bits flipped leaves genuinely ambiguous samples for the
+				// confidence gate to reject.
+				targets = append(targets, flip(rng, protos[c], 2*testDim/5))
+			}
+		}
+		stats, err := m.Adapt(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, len(targets) * stats.Epochs
+	}
+	cal, calSeen := run("entropy-cal")
+	raw, _ := run("entropy")
+	margin, _ := run("margin")
+	calFrac := float64(cal.PseudoLabels) / float64(calSeen)
+	if calFrac < 0.1 {
+		t.Fatalf("entropy-cal accepted %d/%d (%.1f%%) pseudo-labels at the default threshold — still starved",
+			cal.PseudoLabels, calSeen, 100*calFrac)
+	}
+	if cal.PseudoLabels <= raw.PseudoLabels {
+		t.Fatalf("entropy-cal accepted %d pseudo-labels, raw entropy %d — calibration should raise acceptance",
+			cal.PseudoLabels, raw.PseudoLabels)
+	}
+	if lo, hi := margin.PseudoLabels/2, margin.PseudoLabels*2; cal.PseudoLabels < lo || cal.PseudoLabels > hi {
+		t.Fatalf("entropy-cal accepted %d pseudo-labels, margin %d — not on the margin-calibrated scale",
+			cal.PseudoLabels, margin.PseudoLabels)
+	}
+
+	// The calibration contract in the small: two classes reduce exactly to
+	// the margin rule, and an uninformative all-equal vector scores 0.
+	rule := EntropyCalConfidence{}
+	if class, conf, _ := rule.Assess([]float64{0.31, 0.28}); class != 0 || math.Abs(conf-0.03) > 1e-12 {
+		t.Fatalf("two-class Assess = (%d, %v), want the margin (0, 0.03)", class, conf)
+	}
+	if _, conf, _ := rule.Assess([]float64{0.2, 0.2, 0.2, 0.2}); conf != 0 {
+		t.Fatalf("all-equal Assess conf = %v, want exactly 0", conf)
+	}
+	if class, conf, _ := rule.Assess([]float64{0.3, math.Inf(-1), 0.1, math.NaN()}); class != 0 || !(conf > 0) {
+		t.Fatalf("Assess with -Inf/NaN slots = (%d, %v), want class 0 with positive confidence", class, conf)
+	}
+}
+
 // TestEMAUpdateBoundsPrototypeMass pins the semantic difference of the EMA
 // update: under momentum μ the class accumulators are geometric sums, so
 // repeated adaptation cannot grow them without bound the way permanent
@@ -281,7 +349,9 @@ func TestEMAUpdateBoundsPrototypeMass(t *testing.T) {
 			}
 		}
 		s := 0.0
-		for _, acc := range m.adapted.classAcc {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, acc := range m.activeLocked().classAcc {
 			s += accumulatorAbsMass(t, acc)
 		}
 		return s

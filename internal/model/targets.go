@@ -1,0 +1,256 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"go-arxiv/smore/internal/hdc"
+)
+
+// ErrNoCheckpoint marks a Rollback with no checkpointed state to restore —
+// a state conflict (HTTP 409 at the serving layer), like ErrNotTrained.
+var ErrNoCheckpoint = errors.New("model: no checkpoint to roll back to")
+
+// ErrUnknownTarget marks an operation addressing a target name that does not
+// exist — a caller error (HTTP 400/404 at the serving layer).
+var ErrUnknownTarget = errors.New("model: unknown target")
+
+// maxTargetName bounds target names, both on SpawnTarget and on load, so
+// names stay cheap to serialize and safe in logs and metrics labels.
+const maxTargetName = 64
+
+// TargetInfo describes one adapted target domain for stats surfaces.
+type TargetInfo struct {
+	Name   string `json:"name"`
+	Folds  int64  `json:"folds"`
+	Active bool   `json:"active"` // the current fold destination
+	Ready  bool   `json:"ready"`  // initialized by a fold; votes and persists
+}
+
+// TargetInfos lists the adapted target domains in spawn order.
+func (m *Ensemble) TargetInfos() []TargetInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TargetInfo, len(m.targets))
+	for i, t := range m.targets {
+		out[i] = TargetInfo{Name: t.name, Folds: t.folds, Active: i == m.active, Ready: t.ready()}
+	}
+	return out
+}
+
+// NumTargets returns how many target domains exist (including pending spawns
+// that have not yet received a fold).
+func (m *Ensemble) NumTargets() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.targets)
+}
+
+// HasCheckpoint reports whether a Rollback has checkpointed state to restore.
+func (m *Ensemble) HasCheckpoint() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpoint != nil
+}
+
+func (m *Ensemble) findTargetLocked(name string) *targetModel {
+	for _, t := range m.targets {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// addTargetLocked appends a fresh pending target under name (empty means the
+// next auto-generated "t<n>") and makes it the active fold destination. It
+// does not checkpoint; that is SpawnTarget's job. Callers must hold m.mu and
+// have checked the name is free.
+func (m *Ensemble) addTargetLocked(name string) *targetModel {
+	for name == "" {
+		candidate := fmt.Sprintf("t%d", m.spawnSeq)
+		m.spawnSeq++
+		if m.findTargetLocked(candidate) == nil {
+			name = candidate
+		}
+	}
+	t := &targetModel{domainModel: newDomainModel(-1, m.cfg), name: name}
+	m.targets = append(m.targets, t)
+	m.active = len(m.targets) - 1
+	return t
+}
+
+// SpawnTarget checkpoints the current adapted state and opens a fresh target
+// domain under name (empty means the next auto-generated "t<n>"), making it
+// the active fold destination; the next fold initializes it from the
+// similarity-weighted source mixture of its own batch. When retire is true
+// and the spawn pushes the target count past maxTargets (> 0), the
+// least-recently-folded non-active target is retired in the same transition.
+// Rollback restores the checkpointed pre-spawn state byte-identically.
+func (m *Ensemble) SpawnTarget(name string, maxTargets int, retire bool) (spawned, retired string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.domains) == 0 {
+		return "", "", fmt.Errorf("%w: SpawnTarget before Train", ErrNotTrained)
+	}
+	if len(name) > maxTargetName {
+		return "", "", fmt.Errorf("%w: target name %d bytes long exceeds maximum %d", ErrInvalidTargets, len(name), maxTargetName)
+	}
+	if name != "" && m.findTargetLocked(name) != nil {
+		return "", "", fmt.Errorf("%w: target %q already exists", ErrInvalidTargets, name)
+	}
+	if err := m.checkpointLocked(); err != nil {
+		return "", "", err
+	}
+	t := m.addTargetLocked(name)
+	if retire && maxTargets > 0 && len(m.targets) > maxTargets {
+		if victim := m.lruTargetLocked(); victim != nil {
+			retired = victim.name
+			m.removeTargetLocked(victim)
+		}
+	}
+	m.publish()
+	return t.name, retired, nil
+}
+
+// RetireTarget checkpoints the current adapted state and removes the named
+// target. Retiring the active target hands the fold destination to the most
+// recently folded remaining target (none left means folds start a fresh
+// implicit target). In-flight folds are never dropped: folds serialize with
+// retirement on the ensemble mutex, so a fold either completes into the
+// target before it leaves or addresses the reassigned destination after.
+func (m *Ensemble) RetireTarget(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.findTargetLocked(name)
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTarget, name)
+	}
+	if err := m.checkpointLocked(); err != nil {
+		return err
+	}
+	m.removeTargetLocked(t)
+	if len(m.domains) > 0 {
+		m.publish()
+	}
+	return nil
+}
+
+// lruTargetLocked picks the least-recently-folded target other than the
+// active one. Callers must hold m.mu.
+func (m *Ensemble) lruTargetLocked() *targetModel {
+	var victim *targetModel
+	for i, t := range m.targets {
+		if i == m.active {
+			continue
+		}
+		if victim == nil || t.lastFold < victim.lastFold {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// removeTargetLocked drops t from the target set, reassigning the active
+// fold destination to the most recently folded remaining target when t held
+// it. Callers must hold m.mu.
+func (m *Ensemble) removeTargetLocked(t *targetModel) {
+	keep := m.activeLocked()
+	m.targets = slicesDelete(m.targets, t)
+	m.active = -1
+	if keep != nil && keep != t {
+		for i, o := range m.targets {
+			if o == keep {
+				m.active = i
+			}
+		}
+		return
+	}
+	if keep == t {
+		var best int64 = -1
+		for i, o := range m.targets {
+			if o.lastFold > best {
+				best = o.lastFold
+				m.active = i
+			}
+		}
+	}
+}
+
+func slicesDelete(ts []*targetModel, t *targetModel) []*targetModel {
+	out := ts[:0]
+	for _, o := range ts {
+		if o != t {
+			out = append(out, o)
+		}
+	}
+	// Clear the freed tail slot so the retired target is not pinned.
+	for i := len(out); i < len(ts); i++ {
+		ts[i] = nil
+	}
+	return out
+}
+
+// checkpointLocked captures the canonical encoding of the current state so
+// Rollback can restore it. An untrained ensemble cannot be encoded (and has
+// nothing to protect), so spawning before Train fails earlier. Callers must
+// hold m.mu.
+func (m *Ensemble) checkpointLocked() error {
+	b, err := m.encodeLocked()
+	if err != nil {
+		return fmt.Errorf("model: checkpointing for rollback: %w", err)
+	}
+	m.checkpoint = b
+	return nil
+}
+
+// Rollback restores the state checkpointed by the most recent SpawnTarget or
+// RetireTarget — configuration, strategy, source domains, and the full
+// pre-transition target set — byte-identically (the codec is canonical). The
+// checkpoint survives the rollback, so repeating it is idempotent. With no
+// checkpoint it returns ErrNoCheckpoint.
+func (m *Ensemble) Rollback() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.checkpoint == nil {
+		return ErrNoCheckpoint
+	}
+	cp := m.checkpoint
+	st, _, err := readState(bytes.NewReader(cp))
+	if err != nil {
+		return fmt.Errorf("model: decoding checkpoint: %w", err)
+	}
+	m.installLocked(st)
+	m.checkpoint = cp
+	return nil
+}
+
+// BatchSimilarity bundles the batch into a majority hypervector and returns
+// its cosine similarity to the active target's domain prototype — the signal
+// the streaming drift detector tracks. ok is false when no initialized
+// target exists yet (nothing to compare against). The comparison is made
+// against the state before any fold of this batch, so a drift decision made
+// on it can spawn a fresh target for the batch to fold into.
+func (m *Ensemble) BatchSimilarity(hvs []hdc.Vector) (sim float64, ok bool, err error) {
+	if len(hvs) == 0 {
+		return 0, false, fmt.Errorf("%w: no target samples", ErrInvalidTargets)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, hv := range hvs {
+		if hv.Dim() != m.cfg.Dim {
+			return 0, false, fmt.Errorf("%w: target %d has dimension %d, model wants %d",
+				ErrInvalidTargets, i, hv.Dim(), m.cfg.Dim)
+		}
+	}
+	t := m.activeLocked()
+	if t == nil || !t.ready() {
+		return 0, false, nil
+	}
+	acc := hdc.NewAccumulator(m.cfg.Dim)
+	for _, hv := range hvs {
+		acc.Add(hv, 1)
+	}
+	return acc.Majority().Cosine(t.domProt), true, nil
+}

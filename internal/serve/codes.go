@@ -22,6 +22,7 @@ const (
 	codeModelNotFound    = "model_not_found"    // unknown registry name
 	codeRegistryFull     = "registry_full"      // MaxModels reached, nothing evictable
 	codeDefaultPinned    = "default_pinned"     // DELETE on the pinned default model
+	codeNoCheckpoint     = "no_checkpoint"      // rollback with no drift checkpoint to restore
 	codeInternal         = "internal"           // unclassified server fault
 )
 
@@ -49,5 +50,6 @@ var ErrorCodes = []string{
 	codeModelNotFound,
 	codeRegistryFull,
 	codeDefaultPinned,
+	codeNoCheckpoint,
 	codeInternal,
 }

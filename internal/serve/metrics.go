@@ -45,11 +45,11 @@ func newMetrics() *metrics {
 		endpoints: map[string]*endpointMetrics{},
 		stages:    map[string]*stageMetrics{},
 	}
-	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "model",
-		"models", "model_upload", "model_delete", "healthz", "metrics"} {
+	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "stream_rollback",
+		"model", "models", "model_upload", "model_delete", "healthz", "metrics"} {
 		m.endpoints[e] = &endpointMetrics{}
 	}
-	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold"} {
+	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold", "rollback"} {
 		m.stages[s] = &stageMetrics{}
 	}
 	return m
@@ -202,6 +202,37 @@ func (m *metrics) render(w io.Writer, infos []modelInfo) {
 	fmt.Fprintf(w, "# TYPE smore_stream_pseudo_labels_total counter\n")
 	for _, mi := range infos {
 		fmt.Fprintf(w, "smore_stream_pseudo_labels_total{model=%q} %d\n", mi.Name, mi.Stream.Adapt.PseudoLabels)
+	}
+
+	fmt.Fprintf(w, "# HELP smore_model_targets Live target domains held by the served ensemble.\n")
+	fmt.Fprintf(w, "# TYPE smore_model_targets gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_model_targets{model=%q} %d\n", mi.Name, len(mi.Targets))
+	}
+	fmt.Fprintf(w, "# HELP smore_stream_similarity_ema Batch-vs-active-target similarity EMA (0 until the first measurement).\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_similarity_ema gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_similarity_ema{model=%q} %.6f\n", mi.Name, mi.Stream.SimilarityEMA)
+	}
+	fmt.Fprintf(w, "# HELP smore_stream_folds_on_target Successful folds since the active target last changed.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_folds_on_target gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_folds_on_target{model=%q} %d\n", mi.Name, mi.Stream.FoldsOnTarget)
+	}
+	fmt.Fprintf(w, "# HELP smore_stream_targets_spawned_total Target domains opened by the drift policy.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_targets_spawned_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_targets_spawned_total{model=%q} %d\n", mi.Name, mi.Stream.TargetsSpawned)
+	}
+	fmt.Fprintf(w, "# HELP smore_stream_targets_retired_total Target domains retired past the MaxTargets bound.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_targets_retired_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_targets_retired_total{model=%q} %d\n", mi.Name, mi.Stream.TargetsRetired)
+	}
+	fmt.Fprintf(w, "# HELP smore_stream_rollbacks_total Checkpoint restores served on the rollback route.\n")
+	fmt.Fprintf(w, "# TYPE smore_stream_rollbacks_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_stream_rollbacks_total{model=%q} %d\n", mi.Name, mi.Rollback)
 	}
 }
 

@@ -44,6 +44,9 @@ type instance struct {
 	model  *model.Ensemble
 	stream *stream.Adapter
 
+	// rollbacks counts successful POST .../stream/rollback restores.
+	rollbacks atomic.Int64
+
 	mu       sync.Mutex
 	lastUsed int64 // registry LRU tick; guarded by the registry mutex
 }
@@ -58,13 +61,15 @@ func (inst *instance) close(ctx context.Context) error {
 // modelInfo is one registry entry's identity and state, for /v1/models and
 // the labeled /metrics series.
 type modelInfo struct {
-	Name     string       `json:"name"`
-	Adapted  bool         `json:"adapted"`
-	Dim      int          `json:"dim"`
-	Classes  int          `json:"classes"`
-	Sensors  int          `json:"sensors"`
-	Strategy string       `json:"strategy"`
-	Stream   stream.Stats `json:"stream"`
+	Name     string             `json:"name"`
+	Adapted  bool               `json:"adapted"`
+	Dim      int                `json:"dim"`
+	Classes  int                `json:"classes"`
+	Sensors  int                `json:"sensors"`
+	Strategy string             `json:"strategy"`
+	Targets  []model.TargetInfo `json:"targets,omitempty"`
+	Rollback int64              `json:"rollbacks_total"`
+	Stream   stream.Stats       `json:"stream"`
 }
 
 // bundleErrCode picks the stable error code for a rejected bundle from the
@@ -126,7 +131,28 @@ func (g *registry) newInstance(name string, b *pipeline.Bundle) (*instance, erro
 		model: b.Model,
 	}
 	inst.stream = stream.New(
-		stream.Config{QueueCap: g.opt.StreamQueue, MaxBatch: g.opt.StreamBatch},
+		stream.Config{
+			QueueCap: g.opt.StreamQueue, MaxBatch: g.opt.StreamBatch,
+			Policy: g.opt.DriftPolicy, MaxTargets: g.opt.MaxTargets,
+			// The drift closures mirror the fold closure's locking: take the
+			// instance mutex, then call into the model (inst.mu → model.mu,
+			// never the reverse). The adapter calls Sim and Spawn from its
+			// worker goroutine with no adapter lock held.
+			Sim: func(hvs []hdc.Vector) (float64, bool, error) {
+				inst.mu.Lock()
+				defer inst.mu.Unlock()
+				return inst.model.BatchSimilarity(hvs)
+			},
+			Spawn: func(maxTargets int, retire bool) (string, string, error) {
+				inst.mu.Lock()
+				defer inst.mu.Unlock()
+				spawned, retired, err := inst.model.SpawnTarget("", maxTargets, retire)
+				if err == nil {
+					g.logf("serve: model %q drift: spawned target %q (retired %q)", inst.name, spawned, retired)
+				}
+				return spawned, retired, err
+			},
+		},
 		func(windows [][][]float64) ([]hdc.Vector, error) {
 			defer g.met.stage("stream_encode")()
 			return inst.enc.EncodeBatch(windows, g.opt.Workers)
@@ -294,6 +320,8 @@ func (g *registry) infos() []modelInfo {
 			Classes:  cfg.Classes,
 			Sensors:  inst.encfg.Sensors,
 			Strategy: inst.model.Strategy().String(),
+			Targets:  inst.model.TargetInfos(),
+			Rollback: inst.rollbacks.Load(),
 			Stream:   inst.stream.Stats(),
 		})
 	}

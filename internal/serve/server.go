@@ -41,6 +41,15 @@ type Options struct {
 	// per AdaptIncremental call; <= 0 means 256.
 	StreamBatch int
 
+	// DriftPolicy decides when a model's streaming adapter spawns a fresh
+	// target domain on a similarity cliff (see stream.ParseDriftPolicy for
+	// the spec grammar). Nil means "none": the similarity EMA is still
+	// tracked for observability, but no targets are ever spawned.
+	DriftPolicy stream.DriftPolicy
+	// MaxTargets bounds the live target set under a retiring drift policy;
+	// <= 0 means stream.DefaultMaxTargets.
+	MaxTargets int
+
 	// MaxModels caps how many named bundles the registry holds at once;
 	// uploading past the cap LRU-evicts the least-recently-used non-default
 	// model. <= 0 means 8. The default model is pinned and does not count
@@ -113,7 +122,8 @@ func (s *Server) StreamStats() stream.Stats { return s.reg.def.Load().stream.Sta
 //	POST   /v1/predict                    {"windows": [[[...]]]} → {"predictions": [...]}
 //	POST   /v1/adapt                      {"windows": [[[...]]]} → {"stats": {...}}
 //	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
-//	GET    /v1/stream/stats               streaming queue depth, folds, cumulative adapt stats
+//	GET    /v1/stream/stats               streaming queue depth, folds, drift trajectory, target set
+//	POST   /v1/stream/rollback            restore the pre-drift checkpoint (409 no_checkpoint without one)
 //	GET    /v1/model                      canonical default bundle bytes (save/export)
 //	GET    /v1/models                     registry listing
 //	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap)
@@ -123,6 +133,7 @@ func (s *Server) StreamStats() stream.Stats { return s.reg.def.Load().stream.Sta
 //	POST   /v1/models/{name}/adapt        per-model incremental adaptation
 //	POST   /v1/models/{name}/stream/adapt per-model streaming enqueue
 //	GET    /v1/models/{name}/stream/stats per-model streaming counters
+//	POST   /v1/models/{name}/stream/rollback per-model checkpoint restore
 //	GET    /healthz                       liveness + default model summary
 //	GET    /metrics                       Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -131,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/adapt", s.onDefault("adapt", s.adapt))
 	mux.HandleFunc("POST /v1/stream/adapt", s.onDefault("stream_adapt", s.streamAdapt))
 	mux.HandleFunc("GET /v1/stream/stats", s.onDefault("stream_stats", s.streamStats))
+	mux.HandleFunc("POST /v1/stream/rollback", s.onDefault("stream_rollback", s.streamRollback))
 	mux.HandleFunc("GET /v1/model", s.onDefault("model", s.export))
 	mux.HandleFunc("GET /v1/models", s.plain("models", s.listModels))
 	mux.HandleFunc("POST /v1/models/{name}", s.plain("model_upload", s.uploadModel))
@@ -140,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/{name}/adapt", s.onNamed("adapt", s.adapt))
 	mux.HandleFunc("POST /v1/models/{name}/stream/adapt", s.onNamed("stream_adapt", s.streamAdapt))
 	mux.HandleFunc("GET /v1/models/{name}/stream/stats", s.onNamed("stream_stats", s.streamStats))
+	mux.HandleFunc("POST /v1/models/{name}/stream/rollback", s.onNamed("stream_rollback", s.streamRollback))
 	mux.HandleFunc("GET /healthz", s.plain("healthz", s.healthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -467,9 +480,55 @@ func (s *Server) streamAdapt(inst *instance, w *responseRecorder, r *http.Reques
 	return writeJSON(w, http.StatusAccepted, streamAdaptResponse{Accepted: len(req.Windows), QueueDepth: depth})
 }
 
-// streamStats reports the instance's streaming queue counters.
+// streamStatsResponse is the /v1/stream/stats body: the adapter's queue and
+// drift-trajectory counters plus the model's current target set and rollback
+// availability.
+type streamStatsResponse struct {
+	stream.Stats
+	Targets       []model.TargetInfo `json:"targets"`
+	TargetsLive   int                `json:"targets_live"`
+	Rollbacks     int64              `json:"rollbacks_total"`
+	HasCheckpoint bool               `json:"has_checkpoint"`
+}
+
+// streamStats reports the instance's streaming queue counters and the target
+// set the drift policy has grown on its model.
 func (s *Server) streamStats(inst *instance, w *responseRecorder, r *http.Request) error {
-	return writeJSON(w, http.StatusOK, inst.stream.Stats())
+	infos := inst.model.TargetInfos()
+	return writeJSON(w, http.StatusOK, streamStatsResponse{
+		Stats:         inst.stream.Stats(),
+		Targets:       infos,
+		TargetsLive:   len(infos),
+		Rollbacks:     inst.rollbacks.Load(),
+		HasCheckpoint: inst.model.HasCheckpoint(),
+	})
+}
+
+// streamRollback restores the model's pre-drift checkpoint — the exact state
+// captured by the last spawn or retire — and resets the adapter's similarity
+// trajectory so the drift detector starts measuring the restored target
+// fresh. Without a checkpoint (no spawn happened, or adaptation was reset)
+// it answers 409 no_checkpoint.
+func (s *Server) streamRollback(inst *instance, w *responseRecorder, r *http.Request) error {
+	done := s.met.stage("rollback")
+	inst.mu.Lock()
+	err := inst.model.Rollback()
+	inst.mu.Unlock()
+	done()
+	if err != nil {
+		if errors.Is(err, model.ErrNoCheckpoint) {
+			return &httpError{http.StatusConflict, codeNoCheckpoint, err.Error()}
+		}
+		return err
+	}
+	inst.stream.ResetDrift()
+	inst.rollbacks.Add(1)
+	infos := inst.model.TargetInfos()
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"rolled_back":  true,
+		"targets":      infos,
+		"targets_live": len(infos),
+	})
 }
 
 // export writes the instance's canonical bundle bytes. Serialization

@@ -45,6 +45,19 @@ type FoldFunc func(hvs []hdc.Vector) (model.AdaptStats, error)
 type Config struct {
 	QueueCap int // maximum windows held in the queue; <= 0 means 4096
 	MaxBatch int // maximum windows folded per AdaptIncremental call; <= 0 means 256
+
+	// Policy decides when the worker opens a fresh target domain (nil
+	// means NoDrift). A spawning policy needs Sim to measure batches and
+	// Spawn to open targets; with either missing the policy is inert.
+	Policy DriftPolicy
+	// MaxTargets bounds the live target set under a retiring policy;
+	// <= 0 means DefaultMaxTargets.
+	MaxTargets int
+	// Sim measures a batch against the active target (nil disables drift
+	// tracking entirely).
+	Sim SimFunc
+	// Spawn opens a fresh target domain on a drift decision.
+	Spawn SpawnFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +66,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.Policy == nil {
+		c.Policy = NoDrift{}
+	}
+	if c.MaxTargets <= 0 {
+		c.MaxTargets = DefaultMaxTargets
 	}
 	return c
 }
@@ -80,6 +99,20 @@ type Stats struct {
 	Adapt model.AdaptStats `json:"adapt_stats"`
 	// LastError is the most recent encode/fold error, for /v1/stream/stats.
 	LastError string `json:"last_error,omitempty"`
+
+	// DriftPolicy is the configured policy's registered name.
+	DriftPolicy string `json:"drift_policy"`
+	// SimilarityEMA is the tracked batch-vs-active-target similarity
+	// trajectory; valid only while SimilarityValid (it resets on every
+	// spawn and rollback).
+	SimilarityEMA   float64 `json:"similarity_ema"`
+	SimilarityValid bool    `json:"similarity_ema_valid"`
+	// FoldsOnTarget counts successful folds since the active target last
+	// changed (spawn or rollback).
+	FoldsOnTarget int64 `json:"folds_on_target"`
+	// TargetsSpawned / TargetsRetired count drift-policy transitions.
+	TargetsSpawned int64 `json:"targets_spawned_total"`
+	TargetsRetired int64 `json:"targets_retired_total"`
 }
 
 // Drained reports whether nothing is queued or being folded.
@@ -102,6 +135,7 @@ type Adapter struct {
 	closed   bool
 	started  bool
 	stats    Stats
+	drift    driftState
 
 	// batchBuf is the coalescing buffer the worker reuses across
 	// micro-batches, so steady-state folding does not allocate a fresh
@@ -173,6 +207,10 @@ func (a *Adapter) snapshotLocked() Stats {
 	s.Capacity = a.cfg.QueueCap
 	s.MaxBatch = a.cfg.MaxBatch
 	s.Closed = a.closed
+	s.DriftPolicy = a.cfg.Policy.Name()
+	s.SimilarityEMA = a.drift.ema
+	s.SimilarityValid = a.drift.emaInit
+	s.FoldsOnTarget = a.drift.folds
 	return s
 }
 
@@ -222,6 +260,46 @@ func (a *Adapter) Close(ctx context.Context) error {
 	}
 }
 
+// maybeDrift measures the encoded batch against the active target domain
+// and lets the drift policy redirect it into a freshly spawned target. It
+// runs on the worker goroutine between encode and fold: the similarity is
+// computed against the pre-fold state, so the drifted batch itself becomes
+// the first fold — and the source-mixture initializer — of the new target,
+// and the spawn's checkpoint is exactly the pre-drift state. Lock order:
+// the Sim/Spawn callees take the model/instance lock; the adapter mutex is
+// only held for the trajectory bookkeeping in between, never across either
+// call.
+func (a *Adapter) maybeDrift(hvs []hdc.Vector) {
+	if a.cfg.Sim == nil {
+		return
+	}
+	sim, ok, err := a.cfg.Sim(hvs)
+	if err != nil || !ok {
+		return
+	}
+	pol := a.cfg.Policy
+	if a.cfg.Spawn == nil {
+		pol = NoDrift{} // tracking-only: keep the EMA gauge, never spawn
+	}
+	a.mu.Lock()
+	spawn := a.drift.observe(pol, sim)
+	a.mu.Unlock()
+	if !spawn {
+		return
+	}
+	_, retired, spawnErr := a.cfg.Spawn(a.cfg.MaxTargets, pol.RetiresLRU())
+	a.mu.Lock()
+	if spawnErr != nil {
+		a.stats.LastError = spawnErr.Error()
+	} else {
+		a.stats.TargetsSpawned++
+		if retired != "" {
+			a.stats.TargetsRetired++
+		}
+	}
+	a.mu.Unlock()
+}
+
 // run is the worker loop: take up to MaxBatch windows, encode them with no
 // lock held, fold them, repeat; exit once closed and empty.
 func (a *Adapter) run() {
@@ -263,6 +341,7 @@ func (a *Adapter) runOnce(wait bool) bool {
 	hvs, encErr := a.encode(batch)
 	var foldErr error
 	if encErr == nil {
+		a.maybeDrift(hvs)
 		stats, foldErr = a.fold(hvs)
 	}
 	// Drop the window references so the reused buffer cannot pin client
@@ -283,6 +362,7 @@ func (a *Adapter) runOnce(wait bool) bool {
 		a.stats.BatchesFolded++
 		a.stats.WindowsFolded += int64(n)
 		a.stats.Adapt.Accumulate(stats)
+		a.drift.folds++
 		// A transient failure must not be reported forever: the sticky
 		// last-error clears on the next clean fold (the cumulative error
 		// counters keep the history).

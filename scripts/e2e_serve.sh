@@ -12,7 +12,10 @@
 # LRU eviction. Along the way, error responses are checked against the
 # uniform {"error":{"code","message"}} envelope, and a per-request
 # adaptation strategy is installed, listed, and round-tripped through an
-# SME2 bundle export/upload. Used by `make e2e` and CI.
+# SME2 bundle export/upload. A drift-policy server then streams a harsh
+# second-shift split: the detector spawns a second target, stats/metrics
+# report the transition, and POST /v1/stream/rollback restores the
+# pre-drift bundle byte-identically. Used by `make e2e` and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
@@ -88,7 +91,8 @@ fi
 # to improve, dump the raw target split, and serve the unadapted bundle.
 "$tmp/smore" -dim 1024 -levels 16 -ngram 3 -sensors 3 -classes 4 -window 48 \
   -per-class 24 -retrain 2 -seed 7 \
-  -no-adapt -save "$tmp/source.smore" -dump-target "$tmp/target" >/dev/null
+  -no-adapt -save "$tmp/source.smore" -dump-target "$tmp/target" \
+  -dump-drift "$tmp/drift" >/dev/null
 
 "$tmp/smore-serve" -load "$tmp/source.smore" -addr "$STREAM_ADDR" \
   -stream-queue 128 -stream-batch 8 &
@@ -261,9 +265,74 @@ n=$(curl -fsS "http://$ADDR/v1/models" | grep -o "\"strategy\":\"$strat\"" | wc 
 [ "$n" -eq 2 ] || fail "SME2 strategy did not survive the upload round trip ($n of 2 listings)"
 echo "e2e: error envelope, per-request strategy, SME2 round trip OK"
 
-# SIGTERM must drain cleanly: both servers exit 0.
-kill -TERM "$stream_pid" "$tiny_pid"
+# --- drift: spawn, stats, rollback -------------------------------------------
+# Rollback with no checkpoint is a 409 with its stable code — pinned on the
+# policy-none stream server, where no spawn can ever create one.
+code=$(curl -s -o "$tmp/err_ckpt.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{}' "http://$STREAM_ADDR/v1/stream/rollback")
+[ "$code" = "409" ] || fail "rollback without checkpoint returned $code, want 409"
+grep -q '"error":{"code":"no_checkpoint"' "$tmp/err_ckpt.json" \
+  || fail "no-checkpoint rollback missing its envelope code: $(cat "$tmp/err_ckpt.json")"
+
+# A spawn-policy server: phase A streams the target split (a stable
+# similarity trajectory; no spawn), then the harsh -dump-drift split trips
+# the detector exactly once. The pre-drift export must come back
+# byte-identically after the rollback.
+DRIFT_ADDR="${SMORE_E2E_DRIFT_ADDR:-127.0.0.1:8794}"
+"$tmp/smore-serve" -load "$tmp/source.smore" -addr "$DRIFT_ADDR" \
+  -stream-queue 256 -stream-batch 8 -drift-policy spawn &
+drift_pid=$!
+pids+=("$drift_pid")
+wait_healthz "$DRIFT_ADDR" "$drift_pid"
+
+drain_drift() { # $1: expected windows_folded_total
+  for _ in $(seq 1 100); do
+    dstats=$(curl -fsS "http://$DRIFT_ADDR/v1/stream/stats")
+    if echo "$dstats" | grep >/dev/null "\"windows_folded_total\":$1"; then return 0; fi
+    sleep 0.1
+  done
+  fail "drift server never folded $1 windows: $dstats"
+}
+
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$DRIFT_ADDR/v1/stream/adapt" >/dev/null
+drain_drift 96
+echo "$dstats" | grep >/dev/null '"targets_spawned_total":0' || fail "phase A spawned a target: $dstats"
+echo "$dstats" | grep >/dev/null '"targets_live":1' || fail "phase A must end with one live target: $dstats"
+echo "$dstats" | grep >/dev/null '"similarity_ema_valid":true' || fail "phase A left no similarity trajectory: $dstats"
+echo "$dstats" | grep >/dev/null '"has_checkpoint":false' || fail "checkpoint exists before any spawn: $dstats"
+curl -fsS "http://$DRIFT_ADDR/v1/model" -o "$tmp/predrift.smore"
+
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/drift.windows.json" "http://$DRIFT_ADDR/v1/stream/adapt" >/dev/null
+drain_drift 192
+echo "$dstats" | grep >/dev/null '"targets_spawned_total":1' || fail "second shift did not spawn exactly one target: $dstats"
+echo "$dstats" | grep >/dev/null '"targets_live":2' || fail "expected two live targets after the spawn: $dstats"
+echo "$dstats" | grep >/dev/null '"has_checkpoint":true' || fail "spawn left no checkpoint: $dstats"
+
+curl -fsS "http://$DRIFT_ADDR/metrics" >"$tmp/drift_metrics.txt"
+for want in 'smore_model_targets{model="default"} 2' \
+    'smore_stream_targets_spawned_total{model="default"} 1' \
+    'smore_stream_rollbacks_total{model="default"} 0'; do
+  grep -qF "$want" "$tmp/drift_metrics.txt" || fail "drift metrics missing '$want'"
+done
+
+code=$(curl -s -o "$tmp/rollback.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{}' "http://$DRIFT_ADDR/v1/stream/rollback")
+[ "$code" = "200" ] || fail "rollback returned $code, want 200"
+grep -q '"rolled_back":true' "$tmp/rollback.json" || fail "rollback did not report success: $(cat "$tmp/rollback.json")"
+grep -q '"targets_live":1' "$tmp/rollback.json" || fail "rollback did not shrink the target set: $(cat "$tmp/rollback.json")"
+curl -fsS "http://$DRIFT_ADDR/v1/model" -o "$tmp/postroll.smore"
+cmp "$tmp/predrift.smore" "$tmp/postroll.smore" \
+  || fail "rollback did not restore the pre-drift bundle byte-identically"
+curl -fsS "http://$DRIFT_ADDR/metrics" | grep >/dev/null 'smore_stream_rollbacks_total{model="default"} 1' \
+  || fail "rollback did not count on the metrics surface"
+echo "e2e: drift spawn, stats/metrics, byte-identical rollback OK"
+
+# SIGTERM must drain cleanly: all three streaming servers exit 0.
+kill -TERM "$stream_pid" "$tiny_pid" "$drift_pid"
 wait "$stream_pid" || fail "stream server did not shut down cleanly on SIGTERM"
 wait "$tiny_pid" || fail "tiny-queue server did not shut down cleanly on SIGTERM"
+wait "$drift_pid" || fail "drift server did not shut down cleanly on SIGTERM"
 
 echo "e2e serve OK"
