@@ -14,7 +14,7 @@ FUZZPKG ?= ./internal/hdc
 FUZZ ?= FuzzVectorRoundTrip
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json lint fuzz fmt fmt-check vet vet-smore demo serve e2e ablate-smoke drift-smoke clean
+.PHONY: build test race bench bench-json lint fuzz fmt fmt-check vet vet-smore demo serve e2e ablate-smoke drift-smoke loadgen-smoke clean
 
 build:
 	$(GO) build ./...
@@ -121,6 +121,14 @@ drift-smoke:
 		-per-class 24 -levels 16 -seed 7 -batch 8 -adapt-epochs 10 \
 		-drift-policy spawn:0.04 -require-drift
 
+# loadgen-smoke is the crash-safe-serving proof point: smore-loadgen drives a
+# mixed predict/stream/drift workload against a checkpointing server (zero
+# 5xx, bounded p99, exact queue reconciliation), then against an overloaded
+# server with injected fold failures (429/503 all carry Retry-After, the
+# circuit breaker trips). Reports: loadgen_clean.json / loadgen_overload.json.
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
+
 clean:
 	$(GO) clean -testcache
-	rm -f BENCH_new.json bench_raw.txt ablate.json ablate.md
+	rm -f BENCH_new.json bench_raw.txt ablate.json ablate.md loadgen_clean.json loadgen_overload.json

@@ -1,0 +1,415 @@
+// Command smore-loadgen drives a running smore-serve with a deterministic
+// mixed workload — predict, adapt, streaming adaptation, and drift-shifted
+// streaming traffic — at a target QPS, then judges the run:
+//
+//   - hard failures: any 5xx in clean mode (with -expect-backpressure, 503s
+//     carrying Retry-After are admissible backpressure, not failures)
+//   - every 429/503 must carry a Retry-After header
+//   - predict p99 latency must stay under -p99-max (0 skips the gate)
+//   - the streaming queue must reconcile exactly: the windows this process
+//     got 202s for equal the server-side enqueued delta, and after the final
+//     drain enqueued == folded + lost (+ 0 queued + 0 in flight)
+//
+// It exits 0 only when every gate passes and writes a JSON report (request
+// counts, status breakdown, latency quantiles and histogram, reconciliation)
+// to -out for CI artifacts.
+//
+//	smore-loadgen -addr http://127.0.0.1:8080 -duration 10s -qps 200 -out report.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type route struct {
+	name   string // report key and mix-spec name
+	path   string
+	weight int
+	drift  bool // shift the window distribution to provoke drift detection
+}
+
+// mixSpec parses "predict=70,stream=20,drift=5,adapt=5" onto the route set.
+func parseMix(spec string, routes []*route) error {
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for _, r := range routes {
+			if r.name == name {
+				r.weight, found = w, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown mix route %q", name)
+		}
+	}
+	return nil
+}
+
+// streamStats mirrors the /v1/stream/stats counters the reconciliation uses.
+type streamStats struct {
+	QueueDepth    int   `json:"queue_depth"`
+	InFlight      int   `json:"in_flight"`
+	Enqueued      int64 `json:"enqueued_total"`
+	WindowsFolded int64 `json:"windows_folded_total"`
+	WindowsLost   int64 `json:"windows_lost_total"`
+}
+
+func (s streamStats) drained() bool { return s.QueueDepth == 0 && s.InFlight == 0 }
+
+// sample is one finished request, recorded by a worker.
+type sample struct {
+	route   string
+	status  int
+	millis  float64
+	dropped bool // 429/503 without a Retry-After header
+	netErr  bool
+}
+
+type quantiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// report is the JSON artifact the run writes for CI.
+type report struct {
+	Config         map[string]any       `json:"config"`
+	Requests       int                  `json:"requests"`
+	ByStatus       map[string]int       `json:"by_status"`
+	ByRoute        map[string]quantiles `json:"by_route"`
+	Histogram      map[string]int       `json:"latency_histogram_ms"`
+	Hard5xx        int                  `json:"hard_5xx"`
+	NetErrors      int                  `json:"net_errors"`
+	NoRetryAfter   int                  `json:"backpressure_without_retry_after"`
+	Reconciliation map[string]int64     `json:"reconciliation"`
+	Failures       []string             `json:"failures"`
+	Passed         bool                 `json:"passed"`
+}
+
+func getStats(client *http.Client, addr string) (streamStats, error) {
+	resp, err := client.Get(addr + "/v1/stream/stats")
+	if err != nil {
+		return streamStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return streamStats{}, fmt.Errorf("stream stats: status %d", resp.StatusCode)
+	}
+	var st streamStats
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// sensorsFromRegistry asks /v1/models for the default model's sensor count so
+// generated windows match the served encoder.
+func sensorsFromRegistry(client *http.Client, addr string) (int, error) {
+	resp, err := client.Get(addr + "/v1/models")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Sensors int    `json:"sensors"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	for _, m := range body.Models {
+		if m.Name == "default" {
+			return m.Sensors, nil
+		}
+	}
+	return 0, fmt.Errorf("no default model in registry listing")
+}
+
+// makeWindows builds a deterministic batch; drift traffic shifts the value
+// distribution so the server's similarity EMA actually moves.
+func makeWindows(rng *rand.Rand, n, winLen, sensors int, drift bool) [][][]float64 {
+	shift := 0.0
+	if drift {
+		shift = 1.5
+	}
+	ws := make([][][]float64, n)
+	for i := range ws {
+		win := make([][]float64, winLen)
+		for t := range win {
+			row := make([]float64, sensors)
+			for s := range row {
+				row[s] = rng.NormFloat64()*0.7 + shift
+			}
+			win[t] = row
+		}
+		ws[i] = win
+	}
+	return ws
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "base URL of the smore-serve instance")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		qps       = flag.Float64("qps", 100, "target aggregate requests per second")
+		workers   = flag.Int("workers", 8, "concurrent request workers")
+		perReq    = flag.Int("windows", 4, "windows per request body")
+		winLen    = flag.Int("window-len", 16, "timesteps per generated window")
+		sensors   = flag.Int("sensors", 0, "sensors per timestep (0 = read from /v1/models)")
+		seed      = flag.Uint64("seed", 1, "deterministic traffic seed")
+		mix       = flag.String("mix", "predict=60,stream=25,drift=10,adapt=5", "route weights")
+		p99Max    = flag.Duration("p99-max", 0, "fail if predict p99 exceeds this (0 skips the latency gate)")
+		expectBP  = flag.Bool("expect-backpressure", false, "treat Retry-After-carrying 503s as admissible backpressure, not failures")
+		drainWait = flag.Duration("drain-wait", 30*time.Second, "how long to wait for the stream queue to drain before reconciling")
+		out       = flag.String("out", "", "write the JSON report here (empty: stdout only)")
+	)
+	flag.Parse()
+	routes := []*route{
+		{name: "predict", path: "/v1/predict"},
+		{name: "stream", path: "/v1/stream/adapt"},
+		{name: "drift", path: "/v1/stream/adapt", drift: true},
+		{name: "adapt", path: "/v1/adapt"},
+	}
+	if err := parseMix(*mix, routes); err != nil {
+		log.Fatalf("smore-loadgen: %v", err)
+	}
+	total := 0
+	for _, r := range routes {
+		total += r.weight
+	}
+	if total <= 0 {
+		log.Fatal("smore-loadgen: mix has zero total weight")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *sensors == 0 {
+		n, err := sensorsFromRegistry(client, *addr)
+		if err != nil {
+			log.Fatalf("smore-loadgen: discovering sensor count: %v", err)
+		}
+		*sensors = n
+	}
+	startStats, err := getStats(client, *addr)
+	if err != nil {
+		log.Fatalf("smore-loadgen: %v", err)
+	}
+
+	// The pacer drips one token per 1/qps; workers block on the channel so
+	// aggregate throughput tracks -qps regardless of worker count.
+	tokens := make(chan struct{}, *workers)
+	stopPacer := make(chan struct{})
+	go func() {
+		interval := time.Duration(float64(time.Second) / *qps)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopPacer:
+				close(tokens)
+				return
+			case <-tick.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // workers saturated; shed the token rather than queue a backlog
+				}
+			}
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		accepted int64 // windows this process got 202s for
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(*seed, uint64(id)))
+			for range tokens {
+				pick := rng.IntN(total)
+				var rt *route
+				for _, r := range routes {
+					if pick -= r.weight; pick < 0 {
+						rt = r
+						break
+					}
+				}
+				body, _ := json.Marshal(map[string]any{
+					"windows": makeWindows(rng, *perReq, *winLen, *sensors, rt.drift),
+				})
+				start := time.Now()
+				resp, err := client.Post(*addr+rt.path, "application/json", bytes.NewReader(body))
+				el := float64(time.Since(start)) / float64(time.Millisecond)
+				if err != nil {
+					mu.Lock()
+					samples = append(samples, sample{route: rt.name, millis: el, netErr: true})
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				s := sample{route: rt.name, status: resp.StatusCode, millis: el}
+				if (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) &&
+					resp.Header.Get("Retry-After") == "" {
+					s.dropped = true
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				if resp.StatusCode == http.StatusAccepted {
+					accepted += int64(*perReq)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	log.Printf("smore-loadgen: %v of %s traffic at %.0f qps against %s (%d workers, %d sensors)",
+		*duration, *mix, *qps, *addr, *workers, *sensors)
+	time.Sleep(*duration)
+	close(stopPacer)
+	wg.Wait()
+
+	// Let the background adapter finish everything it accepted, then check
+	// the books balance.
+	var endStats streamStats
+	deadline := time.Now().Add(*drainWait)
+	for {
+		endStats, err = getStats(client, *addr)
+		if err != nil {
+			log.Fatalf("smore-loadgen: %v", err)
+		}
+		if endStats.drained() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	rep := report{
+		Config: map[string]any{
+			"addr": *addr, "duration": duration.String(), "qps": *qps, "workers": *workers,
+			"windows_per_request": *perReq, "mix": *mix, "seed": *seed,
+			"expect_backpressure": *expectBP,
+		},
+		ByStatus:  map[string]int{},
+		ByRoute:   map[string]quantiles{},
+		Histogram: map[string]int{},
+	}
+	perRoute := map[string][]float64{}
+	for _, s := range samples {
+		rep.Requests++
+		if s.netErr {
+			rep.NetErrors++
+			continue
+		}
+		rep.ByStatus[fmt.Sprint(s.status)]++
+		if s.dropped {
+			rep.NoRetryAfter++
+		}
+		if s.status >= 500 && !(*expectBP && s.status == http.StatusServiceUnavailable && !s.dropped) {
+			rep.Hard5xx++
+		}
+		perRoute[s.route] = append(perRoute[s.route], s.millis)
+		bucket := 1
+		for float64(bucket) < s.millis {
+			bucket *= 2
+		}
+		rep.Histogram[fmt.Sprintf("le_%d", bucket)]++
+	}
+	for name, ms := range perRoute {
+		sort.Float64s(ms)
+		rep.ByRoute[name] = quantiles{
+			Count: len(ms), P50: quantile(ms, 0.50), P95: quantile(ms, 0.95),
+			P99: quantile(ms, 0.99), Max: ms[len(ms)-1],
+		}
+	}
+	rep.Reconciliation = map[string]int64{
+		"windows_accepted_by_client": accepted,
+		"enqueued_delta":             endStats.Enqueued - startStats.Enqueued,
+		"folded_delta":               endStats.WindowsFolded - startStats.WindowsFolded,
+		"lost_delta":                 endStats.WindowsLost - startStats.WindowsLost,
+		"queue_depth_final":          int64(endStats.QueueDepth),
+		"in_flight_final":            int64(endStats.InFlight),
+	}
+
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	if rep.Requests == 0 {
+		fail("no requests completed")
+	}
+	if rep.Hard5xx > 0 {
+		fail("%d hard 5xx responses", rep.Hard5xx)
+	}
+	if rep.NetErrors > 0 {
+		fail("%d transport errors", rep.NetErrors)
+	}
+	if rep.NoRetryAfter > 0 {
+		fail("%d backpressure responses without a Retry-After header", rep.NoRetryAfter)
+	}
+	if !endStats.drained() {
+		fail("stream queue never drained (%d queued, %d in flight after %v)",
+			endStats.QueueDepth, endStats.InFlight, *drainWait)
+	}
+	r := rep.Reconciliation
+	if r["enqueued_delta"] != r["windows_accepted_by_client"] {
+		fail("server enqueued %d windows, client got 202s for %d", r["enqueued_delta"], r["windows_accepted_by_client"])
+	}
+	if want := r["folded_delta"] + r["lost_delta"] + r["queue_depth_final"] + r["in_flight_final"]; r["enqueued_delta"] != want {
+		fail("queue invariant violated: enqueued %d != folded %d + lost %d + depth %d + in-flight %d",
+			r["enqueued_delta"], r["folded_delta"], r["lost_delta"], r["queue_depth_final"], r["in_flight_final"])
+	}
+	if *p99Max > 0 {
+		if q, ok := rep.ByRoute["predict"]; ok && q.P99 > float64(*p99Max)/float64(time.Millisecond) {
+			fail("predict p99 %.1fms exceeds gate %v", q.P99, *p99Max)
+		}
+	}
+	rep.Passed = len(rep.Failures) == 0
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("smore-loadgen: %v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("smore-loadgen: %v", err)
+		}
+	}
+	fmt.Println(string(raw))
+	if !rep.Passed {
+		for _, f := range rep.Failures {
+			log.Printf("smore-loadgen: FAIL: %s", f)
+		}
+		os.Exit(1)
+	}
+	log.Printf("smore-loadgen: PASS: %d requests, 0 hard failures, queue reconciled", rep.Requests)
+}

@@ -10,17 +10,40 @@
 //	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
 //	GET    /v1/stream/stats               streaming queue depth, folds, drift trajectory, target set
 //	POST   /v1/stream/rollback            restore the pre-drift checkpoint (409 no_checkpoint without one)
+//	POST   /v1/checkpoint                 persist a durable checkpoint now (409 no_state_dir without -state-dir)
 //	GET    /v1/model                      canonical bundle bytes (byte-identical to the file)
 //	GET    /v1/models                     registry listing
 //	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap; LRU-evicts past -max-models)
 //	GET    /v1/models/{name}              canonical named bundle bytes
 //	DELETE /v1/models/{name}              remove a named model (the default is pinned)
-//	POST   /v1/models/{name}/predict      per-model predict (also .../adapt, .../stream/adapt, .../stream/stats, .../stream/rollback)
+//	POST   /v1/models/{name}/predict      per-model predict (also .../adapt, .../stream/adapt, .../stream/stats, .../stream/rollback, .../checkpoint)
 //	GET    /healthz                       liveness + model summary
 //	GET    /metrics                       per-endpoint, per-stage, and per-model counters
 //
+// Durability: with -state-dir every model's bundle (and drift-rollback
+// checkpoint) is persisted there via temp-file + fsync + atomic rename — on
+// the -checkpoint-interval cadence, after every -checkpoint-folds stream
+// folds, on POST .../checkpoint, and at shutdown. On restart the last good
+// generation of every model is recovered; torn or corrupt files fall back to
+// the previous generation, so a kill -9 mid-write never loses more than the
+// folds since the last checkpoint.
+//
+// Overload protection: -request-timeout bounds each request's handler work
+// (503 deadline_exceeded past it), -max-in-flight caps concurrently admitted
+// model-route requests (429 overloaded past it), and -breaker-threshold opens
+// a per-model circuit after that many consecutive stream-fold failures (503
+// adapter_open until -breaker-cooldown elapses, then one probe batch). Every
+// 429/503 carries a Retry-After header.
+//
+// Fault injection (testing only): -fault (or SMORE_FAULT) arms deterministic
+// seeded failure injectors by name, e.g.
+// "persist.torn:times=1,stream.fold.err:p=0.1"; see internal/fault for the
+// point registry and spec grammar. Off (the default) it costs one atomic
+// load per hook.
+//
 // On SIGINT/SIGTERM the server stops listening, waits for in-flight
-// requests, then drains the streaming queue into the model before exiting.
+// requests, drains the streaming queue into the model, and — with -state-dir
+// — takes a final checkpoint before exiting.
 package main
 
 import (
@@ -34,15 +57,30 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"go-arxiv/smore/internal/fault"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
 	"go-arxiv/smore/internal/serve"
 	"go-arxiv/smore/internal/stream"
 )
+
+// envUint64 parses an environment variable as a uint64 flag default.
+func envUint64(name string, def uint64) uint64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		log.Fatalf("smore-serve: %s: %v", name, err)
+	}
+	return n
+}
 
 // pprofListenAddr normalizes the -pprof-addr flag: a bare port or
 // ":port" binds localhost, so profiling is never exposed on all
@@ -108,8 +146,24 @@ func main() {
 		strategy     = flag.String("strategy", "", "override the default model's adaptation strategy (confidence+schedule+update; empty keeps the bundle's)")
 		driftPolicy  = flag.String("drift-policy", "", "spawn fresh target domains on streamed drift: none | spawn[:threshold] | spawn+retire[:threshold] (empty = none, EMA still tracked)")
 		maxTargets   = flag.Int("max-targets", 0, "live-target cap per model under a retiring drift policy (0 = default)")
+
+		stateDir     = flag.String("state-dir", "", "durable checkpoint directory; empty disables checkpointing and recovery")
+		ckptInterval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence for models with unpersisted folds (0 disables the ticker)")
+		ckptFolds    = flag.Int("checkpoint-folds", 0, "checkpoint a model after this many stream folds since its last checkpoint (0 disables the trigger)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request handler deadline; past it the request fails 503 deadline_exceeded (0 disables)")
+		maxInFlight  = flag.Int("max-in-flight", 0, "concurrently admitted model-route requests; past the cap requests fail 429 overloaded (0 disables)")
+		brThreshold  = flag.Int("breaker-threshold", 0, "consecutive stream-fold failures that open a model's circuit → 503 adapter_open (0 disables)")
+		brCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit duration before the half-open probe batch")
+		faultSpec    = flag.String("fault", os.Getenv("SMORE_FAULT"), "deterministic fault-injection spec, e.g. \"persist.torn:times=1,stream.fold.err:p=0.1\" (testing only; also SMORE_FAULT)")
+		faultSeed    = flag.Uint64("fault-seed", envUint64("SMORE_FAULT_SEED", 1), "seed for the fault injectors' deterministic randomness (also SMORE_FAULT_SEED)")
 	)
 	flag.Parse()
+	if *faultSpec != "" {
+		if err := fault.Enable(*faultSpec, *faultSeed); err != nil {
+			log.Fatalf("smore-serve: %v", err)
+		}
+		log.Printf("smore-serve: FAULT INJECTION ARMED: %s (seed %d)", fault.Spec(), *faultSeed)
+	}
 	if *load == "" {
 		fmt.Fprintln(os.Stderr, "smore-serve: -load is required")
 		flag.Usage()
@@ -135,7 +189,11 @@ func main() {
 		Workers: *workers, MaxBatch: *maxBatch, MaxBody: *maxBody,
 		StreamQueue: *streamQueue, StreamBatch: *streamBatch,
 		DriftPolicy: policy, MaxTargets: *maxTargets,
-		MaxModels: *maxModels, Logf: log.Printf,
+		MaxModels: *maxModels,
+		StateDir:  *stateDir, CheckpointInterval: *ckptInterval, CheckpointFolds: *ckptFolds,
+		RequestTimeout: *reqTimeout, MaxInFlight: *maxInFlight,
+		BreakerThreshold: *brThreshold, BreakerCooldown: *brCooldown,
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("smore-serve: %v", err)

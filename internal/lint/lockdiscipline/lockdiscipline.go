@@ -6,9 +6,10 @@
 // Watched mutexes are sync.Mutex/RWMutex fields of the named types
 // Ensemble, registry, and Adapter (matched by type name so the testdata
 // fixtures exercise the same code path as the real packages). While any of
-// them is held, calls into encoding/json, net/http, encode.Encoder encode
-// entry points, or stream.Adapter fold entry points (Drain/Close) are
-// flagged. The walker is flow-sensitive over if/else branches (an unlock on
+// them is held, calls into encoding/json, net/http, the os package (file
+// I/O — Create/Rename/fsync and every other syscall-latency operation; the
+// PR 10 checkpoint-persist-off-lock rule), encode.Encoder encode entry
+// points, or stream.Adapter fold entry points (Drain/Close) are flagged. The walker is flow-sensitive over if/else branches (an unlock on
 // an early-return branch is honored), treats `defer mu.Unlock()` as keeping
 // the lock held for banned-call purposes while satisfying the leak check,
 // and skips `go` statements and non-invoked function literals, which run
@@ -28,8 +29,8 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
-	Doc: "flag marshaling, net/http, encode, or stream-fold calls made while " +
-		"an Ensemble/registry/Adapter mutex is held, and locks leaked past return",
+	Doc: "flag marshaling, net/http, os file-I/O, encode, or stream-fold calls made " +
+		"while an Ensemble/registry/Adapter mutex is held, and locks leaked past return",
 	Run: run,
 }
 
@@ -416,6 +417,11 @@ func (c *checker) checkBanned(call *ast.CallExpr, st state) {
 		what = "encoding/json call " + f.FullName()
 	case "net/http":
 		what = "net/http call " + f.FullName()
+	case "os":
+		// Covers both package functions (os.Rename, os.CreateTemp) and
+		// *os.File methods (Write, Sync): checkpoint persistence and any
+		// other file I/O must happen outside serving critical sections.
+		what = "os file-I/O call " + f.FullName()
 	default:
 		recv := lintutil.ReceiverNamed(f)
 		if recv == nil || recv.Obj().Pkg() == nil {

@@ -5,6 +5,7 @@ package a
 
 import (
 	"encoding/json"
+	"os"
 	"sync"
 
 	"encode"
@@ -31,6 +32,24 @@ func badDrainUnderLock(g *registry, a *stream.Adapter) {
 	g.mu.Lock()
 	_ = a.Drain() // want `stream fold entry point \(\*stream\.Adapter\)\.Drain while registry\.mu is held`
 	g.mu.Unlock()
+}
+
+func badFileIOUnderLock(m *Ensemble, f *os.File) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = os.Rename("a", "b") // want `os file-I/O call os\.Rename while Ensemble\.mu is held`
+	_, _ = f.Write(nil)     // want `os file-I/O call \(\*os\.File\)\.Write while Ensemble\.mu is held`
+	return f.Sync()         // want `os file-I/O call \(\*os\.File\)\.Sync while Ensemble\.mu is held`
+}
+
+func goodFileIOOffLock(m *Ensemble, f *os.File) error {
+	m.mu.Lock()
+	n := m.n
+	m.mu.Unlock()
+	if err := os.WriteFile("a", []byte{byte(n)}, 0o644); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 func badLeakOnReturn(m *Ensemble, cond bool) {

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCheckpointBytesRestoreRoundTrip proves the serving layer's durability
+// contract: the rollback checkpoint exported from one ensemble, restored
+// into a freshly decoded copy (as startup recovery does), yields a rollback
+// byte-identical to the original pre-drift state.
+func TestCheckpointBytesRestoreRoundTrip(t *testing.T) {
+	m, _, phaseA, phaseB := targetFixture(t, 91)
+	if _, err := m.AdaptIncremental(phaseA[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckpointBytes() != nil {
+		t.Fatal("checkpoint exists before any spawn")
+	}
+	if _, _, err := m.SpawnTarget("shift", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AdaptIncremental(phaseB[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CheckpointBytes()
+	if cp == nil {
+		t.Fatal("no checkpoint after spawn")
+	}
+	// The returned slice is a copy: corrupting it must not touch the live
+	// checkpoint.
+	cp2 := bytes.Clone(cp)
+	for i := range cp {
+		cp[i] ^= 0xFF
+	}
+	cp = cp2
+
+	// Persist the adapted ensemble and decode it fresh — the in-memory
+	// rollback checkpoint does not travel with the wire format.
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.HasCheckpoint() {
+		t.Fatal("decoded ensemble has a checkpoint; expected none persisted")
+	}
+	if err := m2.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.HasCheckpoint() {
+		t.Fatal("RestoreCheckpoint did not install the checkpoint")
+	}
+	if err := m2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var rolled bytes.Buffer
+	if _, err := m2.WriteTo(&rolled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rolled.Bytes(), cp) {
+		t.Fatal("rollback after RestoreCheckpoint is not byte-identical to the checkpoint")
+	}
+}
+
+func TestRestoreCheckpointRejectsGarbage(t *testing.T) {
+	m, _, phaseA, _ := targetFixture(t, 92)
+	if _, err := m.AdaptIncremental(phaseA[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{nil, {}, []byte("SMEX"), bytes.Repeat([]byte{0x7F}, 128)} {
+		if err := m.RestoreCheckpoint(b); err == nil {
+			t.Fatalf("RestoreCheckpoint accepted %d garbage bytes", len(b))
+		}
+	}
+	if m.HasCheckpoint() {
+		t.Fatal("rejected restore left a checkpoint behind")
+	}
+	// A truncated-but-prefixed copy of a real checkpoint must also fail.
+	if _, _, err := m.SpawnTarget("", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CheckpointBytes()
+	if err := m.RestoreCheckpoint(cp[:len(cp)/2]); err == nil {
+		t.Fatal("RestoreCheckpoint accepted a truncated checkpoint")
+	}
+}

@@ -226,6 +226,35 @@ func (m *Ensemble) Rollback() error {
 	return nil
 }
 
+// CheckpointBytes returns a copy of the pre-drift rollback checkpoint (the
+// canonical encoding captured by the last SpawnTarget/RetireTarget), or nil
+// when none exists. The serving layer persists it next to the durable bundle
+// so POST /v1/stream/rollback survives a process restart.
+func (m *Ensemble) CheckpointBytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return bytes.Clone(m.checkpoint)
+}
+
+// RestoreCheckpoint installs b as the rollback checkpoint, validating it
+// through the same parser Rollback uses so a torn or foreign checkpoint file
+// recovered from disk can never wedge a later rollback. The checkpoint must
+// describe an ensemble of this ensemble's dimension.
+func (m *Ensemble) RestoreCheckpoint(b []byte) error {
+	st, _, err := readState(bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("model: invalid rollback checkpoint: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st.cfg.Dim != m.cfg.Dim {
+		return fmt.Errorf("model: rollback checkpoint dimension %d does not match model dimension %d",
+			st.cfg.Dim, m.cfg.Dim)
+	}
+	m.checkpoint = bytes.Clone(b)
+	return nil
+}
+
 // BatchSimilarity bundles the batch into a majority hypervector and returns
 // its cosine similarity to the active target's domain prototype — the signal
 // the streaming drift detector tracks. ok is false when no initialized

@@ -23,6 +23,11 @@ const (
 	codeRegistryFull     = "registry_full"      // MaxModels reached, nothing evictable
 	codeDefaultPinned    = "default_pinned"     // DELETE on the pinned default model
 	codeNoCheckpoint     = "no_checkpoint"      // rollback with no drift checkpoint to restore
+	codeOverloaded       = "overloaded"         // in-flight admission cap reached
+	codeDeadlineExceeded = "deadline_exceeded"  // per-request deadline expired mid-handler
+	codeAdapterOpen      = "adapter_open"       // stream-fold circuit breaker is open
+	codeCheckpointFailed = "checkpoint_failed"  // durable checkpoint could not be persisted
+	codeNoStateDir       = "no_state_dir"       // checkpoint requested without a -state-dir
 	codeInternal         = "internal"           // unclassified server fault
 )
 
@@ -51,5 +56,10 @@ var ErrorCodes = []string{
 	codeRegistryFull,
 	codeDefaultPinned,
 	codeNoCheckpoint,
+	codeOverloaded,
+	codeDeadlineExceeded,
+	codeAdapterOpen,
+	codeCheckpointFailed,
+	codeNoStateDir,
 	codeInternal,
 }

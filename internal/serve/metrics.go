@@ -21,6 +21,10 @@ type metrics struct {
 	swaps     atomic.Int64
 	evictions atomic.Int64
 	deletes   atomic.Int64
+
+	// overloadRejects counts requests turned away 429 by the in-flight
+	// admission cap (Options.MaxInFlight).
+	overloadRejects atomic.Int64
 }
 
 // endpointMetrics counts one HTTP endpoint's requests, errors, total
@@ -46,10 +50,10 @@ func newMetrics() *metrics {
 		stages:    map[string]*stageMetrics{},
 	}
 	for _, e := range []string{"predict", "adapt", "stream_adapt", "stream_stats", "stream_rollback",
-		"model", "models", "model_upload", "model_delete", "healthz", "metrics"} {
+		"checkpoint", "model", "models", "model_upload", "model_delete", "healthz", "metrics"} {
 		m.endpoints[e] = &endpointMetrics{}
 	}
-	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold", "rollback"} {
+	for _, s := range []string{"decode", "encode", "infer", "adapt", "export", "stream_encode", "fold", "rollback", "checkpoint"} {
 		m.stages[s] = &stageMetrics{}
 	}
 	return m
@@ -135,6 +139,9 @@ func (m *metrics) render(w io.Writer, infos []modelInfo) {
 	fmt.Fprintf(w, "# HELP smore_model_deletes_total Models removed by DELETE.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_deletes_total counter\n")
 	fmt.Fprintf(w, "smore_model_deletes_total %d\n", m.deletes.Load())
+	fmt.Fprintf(w, "# HELP smore_overload_rejects_total Requests rejected 429 by the in-flight admission cap.\n")
+	fmt.Fprintf(w, "# TYPE smore_overload_rejects_total counter\n")
+	fmt.Fprintf(w, "smore_overload_rejects_total %d\n", m.overloadRejects.Load())
 
 	fmt.Fprintf(w, "# HELP smore_model_adapted Whether the served ensemble has an adapted target model.\n")
 	fmt.Fprintf(w, "# TYPE smore_model_adapted gauge\n")
@@ -233,6 +240,44 @@ func (m *metrics) render(w io.Writer, infos []modelInfo) {
 	fmt.Fprintf(w, "# TYPE smore_stream_rollbacks_total counter\n")
 	for _, mi := range infos {
 		fmt.Fprintf(w, "smore_stream_rollbacks_total{model=%q} %d\n", mi.Name, mi.Rollback)
+	}
+
+	fmt.Fprintf(w, "# HELP smore_checkpoint_generation Latest durable checkpoint generation persisted for the model (0 before the first).\n")
+	fmt.Fprintf(w, "# TYPE smore_checkpoint_generation gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_checkpoint_generation{model=%q} %d\n", mi.Name, mi.CheckpointGen)
+	}
+	fmt.Fprintf(w, "# HELP smore_checkpoints_total Durable checkpoints persisted for the model.\n")
+	fmt.Fprintf(w, "# TYPE smore_checkpoints_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_checkpoints_total{model=%q} %d\n", mi.Name, mi.Checkpoints)
+	}
+	fmt.Fprintf(w, "# HELP smore_checkpoint_failures_total Durable checkpoint attempts that failed to persist.\n")
+	fmt.Fprintf(w, "# TYPE smore_checkpoint_failures_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_checkpoint_failures_total{model=%q} %d\n", mi.Name, mi.CheckpointFailures)
+	}
+	fmt.Fprintf(w, "# HELP smore_breaker_state Stream-fold circuit state: 0 closed, 1 half-open, 2 open.\n")
+	fmt.Fprintf(w, "# TYPE smore_breaker_state gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_breaker_state{model=%q} %d\n", mi.Name, breakerStateValue(mi.Breaker))
+	}
+	fmt.Fprintf(w, "# HELP smore_breaker_opens_total Stream-fold circuit transitions to open.\n")
+	fmt.Fprintf(w, "# TYPE smore_breaker_opens_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "smore_breaker_opens_total{model=%q} %d\n", mi.Name, mi.BreakerOpens)
+	}
+}
+
+// breakerStateValue maps a breaker state name to its gauge value.
+func breakerStateValue(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half_open":
+		return 1
+	default:
+		return 0
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"go-arxiv/smore/internal/encode"
+	"go-arxiv/smore/internal/fault"
 	"go-arxiv/smore/internal/hdc"
 	"go-arxiv/smore/internal/model"
 	"go-arxiv/smore/internal/pipeline"
@@ -25,8 +26,11 @@ const DefaultModel = "default"
 
 // registryDrainTimeout bounds how long a replaced or evicted instance's
 // streaming adapter may spend folding its remaining queue before it is
-// abandoned. Eviction must not hang the upload that triggered it.
-const registryDrainTimeout = 5 * time.Second
+// abandoned. Eviction must not hang the upload that triggered it, and a
+// wedged fold must not hang shutdown: instance.close applies the same bound
+// when the caller's context carries no deadline of its own. A var (not a
+// const) so drain-robustness tests can shrink the budget.
+var registryDrainTimeout = 5 * time.Second
 
 // modelName validates registry names: one leading alphanumeric, then up to
 // 63 of [A-Za-z0-9._-], so names are safe in URLs, metric labels, and logs.
@@ -44,17 +48,39 @@ type instance struct {
 	model  *model.Ensemble
 	stream *stream.Adapter
 
+	// breaker is the stream-fold circuit breaker (inert unless
+	// Options.BreakerThreshold is set).
+	breaker *breaker
+
 	// rollbacks counts successful POST .../stream/rollback restores.
 	rollbacks atomic.Int64
+
+	// Durable-checkpoint bookkeeping: successful stream folds since the last
+	// checkpoint (drives the fold-count trigger and lets the periodic
+	// checkpointer skip clean instances), the last persisted generation, and
+	// cumulative save/failure counts for stats and metrics.
+	foldsSinceCkpt atomic.Int64
+	ckptGen        atomic.Int64
+	ckptSaves      atomic.Int64
+	ckptFailures   atomic.Int64
 
 	mu       sync.Mutex
 	lastUsed int64 // registry LRU tick; guarded by the registry mutex
 }
 
-// close drains the instance's streaming queue into its model (bounded by
-// registryDrainTimeout when ctx has no earlier deadline) and stops the
-// worker.
+// close drains the instance's streaming queue into its model and stops the
+// worker. A caller context without a deadline is bounded at
+// registryDrainTimeout, so a wedged or fault-stalled fold can never hang a
+// Background-context shutdown; an explicit caller deadline (e.g. the
+// -drain-timeout SIGTERM budget) is honored as-is. Past the budget the
+// adapter abandons its remaining queue (counted as lost) rather than folding
+// it forever.
 func (inst *instance) close(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, registryDrainTimeout)
+		defer cancel()
+	}
 	return inst.stream.Close(ctx)
 }
 
@@ -70,6 +96,18 @@ type modelInfo struct {
 	Targets  []model.TargetInfo `json:"targets,omitempty"`
 	Rollback int64              `json:"rollbacks_total"`
 	Stream   stream.Stats       `json:"stream"`
+
+	// Breaker is the stream-fold circuit state (closed | open | half_open);
+	// BreakerOpens counts how many times it tripped.
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breaker_opens_total"`
+
+	// Durable-checkpoint state: the last persisted generation (0 when the
+	// instance has never been checkpointed) and cumulative save/failure
+	// counts.
+	CheckpointGen      int64 `json:"checkpoint_generation"`
+	Checkpoints        int64 `json:"checkpoints_total"`
+	CheckpointFailures int64 `json:"checkpoint_failures_total"`
 }
 
 // bundleErrCode picks the stable error code for a rejected bundle from the
@@ -91,6 +129,11 @@ type registry struct {
 	opt  Options
 	met  *metrics
 	logf func(format string, args ...any)
+
+	// store is the durable checkpoint store; nil when Options.StateDir is
+	// unset. The fold closures use it for the fold-count trigger, and
+	// remove() forgets a deleted model's state so it cannot resurrect.
+	store *stateStore
 
 	// def always points at the instance currently registered under
 	// DefaultModel; upsert repoints it on a default hot swap. The unnamed
@@ -125,10 +168,11 @@ func (g *registry) newInstance(name string, b *pipeline.Bundle) (*instance, erro
 		return nil, fmt.Errorf("serve: rebuilding encoder: %w", err)
 	}
 	inst := &instance{
-		name:  name,
-		enc:   enc,
-		encfg: b.Encoder,
-		model: b.Model,
+		name:    name,
+		enc:     enc,
+		encfg:   b.Encoder,
+		model:   b.Model,
+		breaker: &breaker{threshold: g.opt.BreakerThreshold, cooldown: g.opt.BreakerCooldown},
 	}
 	inst.stream = stream.New(
 		stream.Config{
@@ -155,13 +199,34 @@ func (g *registry) newInstance(name string, b *pipeline.Bundle) (*instance, erro
 		},
 		func(windows [][][]float64) ([]hdc.Vector, error) {
 			defer g.met.stage("stream_encode")()
+			if err := fault.Maybe("stream.encode.err"); err != nil {
+				return nil, err
+			}
 			return inst.enc.EncodeBatch(windows, g.opt.Workers)
 		},
 		func(hvs []hdc.Vector) (model.AdaptStats, error) {
 			defer g.met.stage("fold")()
+			// Chaos hooks: a slow fold models a wedged worker (the drain
+			// budget must still hold), a fold error feeds the circuit
+			// breaker. Both fire before the lock so an injected stall never
+			// blocks export or adapt traffic.
+			fault.Sleep("stream.fold.slow")
+			if err := fault.Maybe("stream.fold.err"); err != nil {
+				inst.breaker.record(false)
+				return model.AdaptStats{}, err
+			}
 			inst.mu.Lock()
-			defer inst.mu.Unlock()
-			return inst.model.AdaptIncremental(hvs, g.opt.Workers)
+			stats, err := inst.model.AdaptIncremental(hvs, g.opt.Workers)
+			inst.mu.Unlock()
+			inst.breaker.record(err == nil)
+			if err == nil && g.store != nil {
+				// Modulo, not equality: if a checkpoint fails the counter keeps
+				// climbing past the trigger, and the next multiple retries.
+				if n := inst.foldsSinceCkpt.Add(1); g.store.foldEvery > 0 && n%int64(g.store.foldEvery) == 0 {
+					g.store.kickInstance(inst)
+				}
+			}
+			return stats, err
 		},
 	)
 	inst.stream.Start()
@@ -280,8 +345,41 @@ func (g *registry) remove(name string) error {
 		return &httpError{http.StatusNotFound, codeModelNotFound, fmt.Sprintf("model %q not found", name)}
 	}
 	go g.retire([]*instance{inst})
+	if g.store != nil {
+		// Forget the durable state too, or the deleted model would
+		// resurrect at the next restart.
+		g.store.forget(name)
+	}
 	g.met.deletes.Add(1)
 	g.logf("serve: model %q deleted", name)
+	return nil
+}
+
+// restore registers a model recovered from the state dir at startup. It
+// respects MaxModels without evicting: the default model is already
+// registered, and recovery order (most recent checkpoint first) decides who
+// gets the remaining slots.
+func (g *registry) restore(rec recoveredModel) error {
+	inst, err := g.newInstance(rec.name, rec.bundle)
+	if err != nil {
+		return err
+	}
+	inst.ckptGen.Store(rec.gen)
+	g.mu.Lock()
+	if _, exists := g.models[rec.name]; exists || len(g.models) >= g.opt.MaxModels {
+		full := len(g.models)
+		g.mu.Unlock()
+		go g.retire([]*instance{inst})
+		if full >= g.opt.MaxModels {
+			return fmt.Errorf("registry full (%d models)", full)
+		}
+		return fmt.Errorf("model %q already registered", rec.name)
+	}
+	g.models[rec.name] = inst
+	g.clock++
+	inst.lastUsed = g.clock
+	g.mu.Unlock()
+	g.logf("serve: model %q recovered from state dir (generation %d)", rec.name, rec.gen)
 	return nil
 }
 
@@ -313,16 +411,22 @@ func (g *registry) infos() []modelInfo {
 	for _, inst := range insts {
 		snap := inst.model.Snapshot()
 		cfg := snap.Config()
+		brState, brOpens := inst.breaker.snapshot()
 		out = append(out, modelInfo{
-			Name:     inst.name,
-			Adapted:  snap.Adapted(),
-			Dim:      cfg.Dim,
-			Classes:  cfg.Classes,
-			Sensors:  inst.encfg.Sensors,
-			Strategy: inst.model.Strategy().String(),
-			Targets:  inst.model.TargetInfos(),
-			Rollback: inst.rollbacks.Load(),
-			Stream:   inst.stream.Stats(),
+			Name:               inst.name,
+			Adapted:            snap.Adapted(),
+			Dim:                cfg.Dim,
+			Classes:            cfg.Classes,
+			Sensors:            inst.encfg.Sensors,
+			Strategy:           inst.model.Strategy().String(),
+			Targets:            inst.model.TargetInfos(),
+			Rollback:           inst.rollbacks.Load(),
+			Stream:             inst.stream.Stats(),
+			Breaker:            brState,
+			BreakerOpens:       brOpens,
+			CheckpointGen:      inst.ckptGen.Load(),
+			Checkpoints:        inst.ckptSaves.Load(),
+			CheckpointFailures: inst.ckptFailures.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -330,8 +434,10 @@ func (g *registry) infos() []modelInfo {
 }
 
 // closeAll shuts every instance's streaming worker down, draining queues
-// into their models within ctx. The default model drains first so shutdown
-// reports its error (the one the process exit code depends on).
+// into their models within ctx. Instances drain concurrently so one wedged
+// fold cannot burn the whole budget and starve every other model's drain;
+// the default model's error is reported first (the one the process exit code
+// depends on).
 func (g *registry) closeAll(ctx context.Context) error {
 	g.mu.Lock()
 	insts := make([]*instance, 0, len(g.models))
@@ -344,11 +450,20 @@ func (g *registry) closeAll(ctx context.Context) error {
 		}
 	}
 	g.mu.Unlock()
-	var first error
-	for _, inst := range insts {
-		if err := inst.close(ctx); err != nil && first == nil {
-			first = err
+	errs := make([]error, len(insts))
+	var wg sync.WaitGroup
+	for i, inst := range insts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = inst.close(ctx)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
 }

@@ -19,7 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"go-arxiv/smore/internal/hdc"
@@ -56,6 +59,40 @@ type Options struct {
 	// toward evictability (a cap of 1 leaves room for nothing else).
 	MaxModels int
 
+	// StateDir, when set, enables durable checkpointing: every instance's
+	// bundle (and its drift-rollback checkpoint) is persisted under
+	// StateDir/<model>/ via temp-file + fsync + atomic rename, and New
+	// recovers the last good generation of every model found there.
+	StateDir string
+	// CheckpointInterval is the periodic checkpoint cadence for instances
+	// with unpersisted folds; <= 0 disables the ticker (checkpoints still
+	// happen on the fold trigger, the checkpoint routes, and shutdown).
+	CheckpointInterval time.Duration
+	// CheckpointFolds checkpoints an instance after that many successful
+	// stream folds since its last checkpoint; <= 0 disables the trigger.
+	CheckpointFolds int
+
+	// RequestTimeout bounds each model-route request's handler work; past
+	// the deadline the request fails 503 deadline_exceeded instead of
+	// holding a worker-pool slot. The deadline propagates into batch
+	// encoding, which runs in bounded chunks so an oversized batch cannot
+	// overshoot it by more than one chunk. <= 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently admitted requests across the model
+	// routes (predict/adapt/stream-adapt/export/rollback/checkpoint); the
+	// request past the cap is rejected 429 overloaded with a Retry-After
+	// hint instead of queueing unboundedly. Health, metrics, stats, and
+	// registry administration are exempt. <= 0 disables.
+	MaxInFlight int
+
+	// BreakerThreshold opens a model's stream-fold circuit after that many
+	// consecutive fold failures: stream/adapt answers 503 adapter_open until
+	// BreakerCooldown elapses, then one probe batch decides. <= 0 disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before the
+	// half-open probe; <= 0 means 5s.
+	BreakerCooldown time.Duration
+
 	// Logf, when set, receives registry lifecycle events (uploads, swaps,
 	// evictions, deletions). Nil means silent.
 	Logf func(format string, args ...any)
@@ -77,6 +114,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxModels <= 0 {
 		o.MaxModels = 8
 	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 	return o
 }
 
@@ -84,17 +124,41 @@ func (o Options) withDefaults() Options {
 // registered as DefaultModel and backs the unnamed routes; uploading to
 // "default" hot-swaps what those routes serve.
 type Server struct {
-	opt Options
-	met *metrics
-	reg *registry
+	opt   Options
+	met   *metrics
+	reg   *registry
+	store *stateStore // durable checkpoint store; nil without StateDir
+
+	// inFlight counts requests currently admitted on the gated model
+	// routes, against Options.MaxInFlight.
+	inFlight atomic.Int64
 }
 
 // New builds a server around a loaded bundle, registering it as the default
-// model, and starts its streaming adaptation worker. Call Close to drain
-// and stop every registered model.
+// model, and starts its streaming adaptation worker. With Options.StateDir
+// set, New first recovers the last good checkpoint generation of every model
+// persisted there — a recovered default takes precedence over b — and starts
+// the background checkpointer. Call Close to drain and stop every registered
+// model.
 func New(b *pipeline.Bundle, opt Options) (*Server, error) {
 	s := &Server{opt: opt.withDefaults(), met: newMetrics()}
 	s.reg = newRegistry(s.opt, s.met, s.opt.Logf)
+	var recovered []recoveredModel
+	if s.opt.StateDir != "" {
+		store, err := newStateStore(s.opt, s.reg.logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.reg.store = store
+		recovered = store.recoverAll()
+	}
+	for _, rec := range recovered {
+		if rec.name == DefaultModel {
+			s.reg.logf("serve: model %q recovered from state dir (generation %d)", rec.name, rec.gen)
+			b = rec.bundle
+		}
+	}
 	def, err := s.reg.newInstance(DefaultModel, b)
 	if err != nil {
 		return nil, err
@@ -103,14 +167,37 @@ func New(b *pipeline.Bundle, opt Options) (*Server, error) {
 	s.reg.models[DefaultModel] = def
 	s.reg.def.Store(def)
 	s.reg.mu.Unlock()
+	for _, rec := range recovered {
+		if rec.name == DefaultModel {
+			def.ckptGen.Store(rec.gen)
+			continue
+		}
+		if err := s.reg.restore(rec); err != nil {
+			s.reg.logf("serve: not restoring recovered model %q: %v", rec.name, err)
+		}
+	}
+	if s.store != nil {
+		s.store.wg.Add(1)
+		go s.runCheckpointer()
+	}
 	return s, nil
 }
 
 // Close stops accepting streamed windows on every registered model, drains
 // everything already queued into the models, and stops the background
-// adapters. It is the graceful-shutdown half of New; ctx bounds the drain.
+// adapters. With a state dir it then takes a final checkpoint of every
+// instance so the drained folds are durable before the process exits. It is
+// the graceful-shutdown half of New; ctx bounds the drain.
 func (s *Server) Close(ctx context.Context) error {
-	return s.reg.closeAll(ctx)
+	err := s.reg.closeAll(ctx)
+	if s.store != nil {
+		s.store.stopOnce.Do(func() { close(s.store.stop) })
+		s.store.wg.Wait()
+		if cerr := s.checkpointAll(true); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // StreamStats snapshots the current default model's streaming queue
@@ -124,6 +211,7 @@ func (s *Server) StreamStats() stream.Stats { return s.reg.def.Load().stream.Sta
 //	POST   /v1/stream/adapt               enqueue windows for background adaptation → 202 (429 when full)
 //	GET    /v1/stream/stats               streaming queue depth, folds, drift trajectory, target set
 //	POST   /v1/stream/rollback            restore the pre-drift checkpoint (409 no_checkpoint without one)
+//	POST   /v1/checkpoint                 persist the default model to the state dir (409 no_state_dir without one)
 //	GET    /v1/model                      canonical default bundle bytes (save/export)
 //	GET    /v1/models                     registry listing
 //	POST   /v1/models/{name}              upload a bundle (create or atomic hot swap)
@@ -134,6 +222,7 @@ func (s *Server) StreamStats() stream.Stats { return s.reg.def.Load().stream.Sta
 //	POST   /v1/models/{name}/stream/adapt per-model streaming enqueue
 //	GET    /v1/models/{name}/stream/stats per-model streaming counters
 //	POST   /v1/models/{name}/stream/rollback per-model checkpoint restore
+//	POST   /v1/models/{name}/checkpoint   per-model durable checkpoint
 //	GET    /healthz                       liveness + default model summary
 //	GET    /metrics                       Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -143,6 +232,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/stream/adapt", s.onDefault("stream_adapt", s.streamAdapt))
 	mux.HandleFunc("GET /v1/stream/stats", s.onDefault("stream_stats", s.streamStats))
 	mux.HandleFunc("POST /v1/stream/rollback", s.onDefault("stream_rollback", s.streamRollback))
+	mux.HandleFunc("POST /v1/checkpoint", s.onDefault("checkpoint", s.checkpoint))
 	mux.HandleFunc("GET /v1/model", s.onDefault("model", s.export))
 	mux.HandleFunc("GET /v1/models", s.plain("models", s.listModels))
 	mux.HandleFunc("POST /v1/models/{name}", s.plain("model_upload", s.uploadModel))
@@ -153,6 +243,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/{name}/stream/adapt", s.onNamed("stream_adapt", s.streamAdapt))
 	mux.HandleFunc("GET /v1/models/{name}/stream/stats", s.onNamed("stream_stats", s.streamStats))
 	mux.HandleFunc("POST /v1/models/{name}/stream/rollback", s.onNamed("stream_rollback", s.streamRollback))
+	mux.HandleFunc("POST /v1/models/{name}/checkpoint", s.onNamed("checkpoint", s.checkpoint))
 	mux.HandleFunc("GET /healthz", s.plain("healthz", s.healthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -161,25 +252,69 @@ func (s *Server) Handler() http.Handler {
 // instanceHandler is one route's logic against a resolved model instance.
 type instanceHandler func(inst *instance, w *responseRecorder, r *http.Request) error
 
+// admit reserves an in-flight admission slot for a gated model route,
+// returning the release func, or an overload rejection once MaxInFlight
+// slots are taken. Stats stay exempt so overloaded servers remain
+// observable (loadgen reconciles queue counters through them mid-storm).
+func (s *Server) admit(endpoint string) (release func(), err error) {
+	if s.opt.MaxInFlight <= 0 || endpoint == "stream_stats" {
+		return func() {}, nil
+	}
+	if n := s.inFlight.Add(1); n > int64(s.opt.MaxInFlight) {
+		s.inFlight.Add(-1)
+		s.met.overloadRejects.Add(1)
+		return nil, withRetryAfter(&httpError{http.StatusTooManyRequests, codeOverloaded,
+			fmt.Sprintf("server at its in-flight request cap (%d); retry later", s.opt.MaxInFlight)}, time.Second)
+	}
+	return func() { s.inFlight.Add(-1) }, nil
+}
+
+// withDeadline applies the per-request deadline to the request context.
+func (s *Server) withDeadline(r *http.Request) (*http.Request, context.CancelFunc) {
+	if s.opt.RequestTimeout <= 0 {
+		return r, func() {}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	return r.WithContext(ctx), cancel
+}
+
 // onDefault wires an instance handler to whatever instance is currently
 // registered as the default — one atomic load, no registry lock, and always
 // the live instance even after a hot swap of "default" (a cached pointer
-// would keep serving, and stream-enqueueing into, the retired model).
+// would keep serving, and stream-enqueueing into, the retired model). The
+// wrapper also applies the overload-protection envelope: the in-flight
+// admission cap and the per-request deadline.
 func (s *Server) onDefault(endpoint string, h instanceHandler) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		w := &responseRecorder{ResponseWriter: rw}
+		release, err := s.admit(endpoint)
+		if err != nil {
+			s.finish(w, endpoint, start, err)
+			return
+		}
+		defer release()
+		r, cancel := s.withDeadline(r)
+		defer cancel()
 		s.finish(w, endpoint, start, h(s.reg.def.Load(), w, r))
 	}
 }
 
 // onNamed resolves {name} through the registry (touching its LRU slot)
-// before running the handler. Requests share the same endpoint counters as
-// their default-route twins.
+// before running the handler. Requests share the same endpoint counters —
+// and the same admission/deadline envelope — as their default-route twins.
 func (s *Server) onNamed(endpoint string, h instanceHandler) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		w := &responseRecorder{ResponseWriter: rw}
+		release, aerr := s.admit(endpoint)
+		if aerr != nil {
+			s.finish(w, endpoint, start, aerr)
+			return
+		}
+		defer release()
+		r, cancel := s.withDeadline(r)
+		defer cancel()
 		err := func() error {
 			inst, err := s.reg.get(r.PathValue("name"))
 			if err != nil {
@@ -233,6 +368,24 @@ type httpError struct {
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// retryAfterError decorates an httpError with a Retry-After hint for
+// backpressure responses. It wraps rather than extends httpError so the
+// dozens of positional httpError literals (and the errenvelope analyzer's
+// view of them) stay three fields.
+type retryAfterError struct {
+	*httpError
+	after time.Duration
+}
+
+func (e *retryAfterError) Unwrap() error { return e.httpError }
+
+// withRetryAfter attaches a retry hint to a backpressure error; finish
+// renders it as a Retry-After header (all 429/503 responses carry one — a
+// wrapped hint overrides the 1s default).
+func withRetryAfter(he *httpError, after time.Duration) error {
+	return &retryAfterError{httpError: he, after: after}
+}
 
 // errorEnvelope is the uniform error body every route renders:
 // {"error":{"code":"...","message":"..."}}.
@@ -310,13 +463,46 @@ func (r *responseRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-func (s *Server) encodeWindows(inst *instance, ws [][][]float64) ([]hdc.Vector, error) {
+// deadlineError maps an expired request context to the 503 the client sees.
+// A cancelled context (client hung up) takes the same shape; the envelope
+// write will fail and be counted rather than rendered.
+func deadlineError(err error) error {
+	return withRetryAfter(&httpError{http.StatusServiceUnavailable, codeDeadlineExceeded,
+		"request deadline exceeded: " + err.Error()}, time.Second)
+}
+
+// encodeChunk is the batch-encode granularity at which an active request
+// deadline is re-checked, bounding how far one oversized batch can overshoot
+// its deadline inside the worker pool.
+const encodeChunk = 64
+
+func (s *Server) encodeWindows(ctx context.Context, inst *instance, ws [][][]float64) ([]hdc.Vector, error) {
 	defer s.met.stage("encode")()
-	hvs, err := inst.enc.EncodeBatch(ws, s.opt.Workers)
-	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, codeBadWindow, err.Error()}
+	if _, ok := ctx.Deadline(); !ok {
+		hvs, err := inst.enc.EncodeBatch(ws, s.opt.Workers)
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, codeBadWindow, err.Error()}
+		}
+		return hvs, nil
 	}
-	return hvs, nil
+	// Under a deadline, encode in chunks and re-check the context between
+	// them. Window encodings are independent and deterministic, so the
+	// chunked result is byte-identical to the one-shot path.
+	out := make([]hdc.Vector, 0, len(ws))
+	for start := 0; start < len(ws); start += encodeChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, deadlineError(err)
+		}
+		hvs, err := inst.enc.EncodeBatch(ws[start:min(start+encodeChunk, len(ws))], s.opt.Workers)
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, codeBadWindow, err.Error()}
+		}
+		out = append(out, hvs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, deadlineError(err)
+	}
+	return out, nil
 }
 
 // predict scores the request's windows against one atomically-loaded model
@@ -331,7 +517,7 @@ func (s *Server) predict(inst *instance, w *responseRecorder, r *http.Request) e
 		return &httpError{http.StatusBadRequest, codeUnknownStrategy,
 			"prediction does not adapt; \"strategy\" is only accepted on the adapt and stream/adapt routes"}
 	}
-	hvs, err := s.encodeWindows(inst, req.Windows)
+	hvs, err := s.encodeWindows(r.Context(), inst, req.Windows)
 	if err != nil {
 		return err
 	}
@@ -370,7 +556,7 @@ func (s *Server) adapt(inst *instance, w *responseRecorder, r *http.Request) err
 	if err != nil {
 		return err
 	}
-	hvs, err := s.encodeWindows(inst, req.Windows)
+	hvs, err := s.encodeWindows(r.Context(), inst, req.Windows)
 	if err != nil {
 		return err
 	}
@@ -452,6 +638,13 @@ func (s *Server) streamAdapt(inst *instance, w *responseRecorder, r *http.Reques
 	}
 	if err := inst.validateWindows(req.Windows); err != nil {
 		return err
+	}
+	// A tripped circuit rejects before the queue: every admitted batch on a
+	// poisoned stream is paid for (encoded, locked, folded) only to be
+	// discarded, so backpressure here is cheaper for everyone.
+	if ok, wait := inst.breaker.allow(); !ok {
+		return withRetryAfter(&httpError{http.StatusServiceUnavailable, codeAdapterOpen,
+			"stream adapter circuit open after repeated fold failures; retry later"}, wait)
 	}
 	// A batch larger than the whole queue can never succeed, so a 429
 	// ("retry later") would send a well-behaved client into an infinite
@@ -681,8 +874,20 @@ func (s *Server) finish(w *responseRecorder, endpoint string, start time.Time, e
 		s.met.observeWriteError(endpoint)
 		return
 	}
+	status := errStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Every backpressure response tells the client when to come back:
+		// a wrapped retryAfterError carries the precise hint (e.g. the
+		// breaker's remaining cooldown); everything else gets 1 second.
+		secs := 1
+		var ra *retryAfterError
+		if errors.As(err, &ra) && ra.after > 0 {
+			secs = max(1, int(math.Ceil(ra.after.Seconds())))
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(errStatus(err))
+	w.WriteHeader(status)
 	ew := &errWriter{w: w}
 	// Best-effort by design: the error status line is already committed, so
 	// if the envelope body fails to reach the client there is nothing left

@@ -243,6 +243,13 @@ func (a *Adapter) Drain(ctx context.Context) error {
 // already enqueued, and waits for it to exit (or ctx to expire). If Start
 // was never called, Close runs the worker once inline so a pre-loaded queue
 // still drains. Close is idempotent.
+//
+// When ctx expires before the drain finishes — typically a wedged or
+// deliberately stalled fold — Close abandons the remaining queue: the
+// dropped windows are accounted as WindowsLost (so the reconciliation
+// invariant still balances) and the worker exits right after its in-flight
+// batch instead of grinding through a stuffed queue long after shutdown gave
+// up on it. A later Close observes the worker's actual exit.
 func (a *Adapter) Close(ctx context.Context) error {
 	a.mu.Lock()
 	a.closed = true
@@ -256,8 +263,21 @@ func (a *Adapter) Close(ctx context.Context) error {
 	case <-a.done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("stream: close: %w", ctx.Err())
 	}
+	a.mu.Lock()
+	lost := len(a.queue)
+	if lost > 0 {
+		clear(a.queue)
+		a.queue = a.queue[:0]
+		a.stats.WindowsLost += int64(lost)
+		a.stats.LastError = fmt.Sprintf("close abandoned %d queued windows: %v", lost, ctx.Err())
+		a.idle.Broadcast()
+	}
+	a.mu.Unlock()
+	if lost > 0 {
+		return fmt.Errorf("stream: close: %w (abandoned %d queued windows)", ctx.Err(), lost)
+	}
+	return fmt.Errorf("stream: close: %w", ctx.Err())
 }
 
 // maybeDrift measures the encoded batch against the active target domain

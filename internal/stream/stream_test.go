@@ -343,3 +343,58 @@ func TestConcurrentEnqueueNeverExceedsCapacity(t *testing.T) {
 		t.Fatalf("accepted %d + dropped %d != 400 submitted", st.Enqueued, st.Dropped)
 	}
 }
+
+// TestCloseAbandonsQueueWhenFoldWedges pins the shutdown-robustness fix: a
+// wedged fold must not let Close fold a stuffed queue forever. When the
+// Close context expires, the remaining queue is abandoned into WindowsLost
+// (books still balance) and the worker exits right after its in-flight
+// batch. Run under -race: Close, the wedged fold, and Stats race by design.
+func TestCloseAbandonsQueueWhenFoldWedges(t *testing.T) {
+	f := &recordingFold{gate: make(chan struct{})}
+	a := New(Config{QueueCap: 64, MaxBatch: 4}, passthroughEncode, f.fold)
+	a.Start()
+	windows := make([][][]float64, 12)
+	for i := range windows {
+		windows[i] = fakeWindow(i)
+	}
+	if _, err := a.Enqueue(windows); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never took a batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := a.Close(ctx)
+	if err == nil {
+		t.Fatal("close succeeded while the fold was wedged")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("close took %v despite its 50ms budget", d)
+	}
+	st := a.Stats()
+	if st.WindowsLost != 8 || st.QueueDepth != 0 || st.InFlight != 4 {
+		t.Fatalf("post-abandon stats %+v: want 8 lost, 0 queued, 4 in flight", st)
+	}
+	if st.Enqueued != st.WindowsFolded+st.WindowsLost+int64(st.QueueDepth)+int64(st.InFlight) {
+		t.Fatalf("reconciliation invariant broken: %+v", st)
+	}
+	// Unwedge: the worker folds only its in-flight batch, never the
+	// abandoned windows, and exits — observed by a second Close.
+	close(f.gate)
+	if err := a.Close(ctxShort(t)); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.WindowsFolded != 4 || st.WindowsLost != 8 || !st.Drained() {
+		t.Fatalf("final stats %+v: want 4 folded, 8 lost, drained", st)
+	}
+	if got := f.batchSizes(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("fold batches %v, want [4]", got)
+	}
+}

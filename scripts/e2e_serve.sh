@@ -25,6 +25,9 @@ tmp="$(mktemp -d)"
 pids=()
 cleanup() {
   for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  # Reap the servers before deleting $tmp: a SIGTERM shutdown checkpoint may
+  # still be writing into the state dir, and a concurrent rm -rf can fail.
+  wait 2>/dev/null || true
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -329,10 +332,89 @@ curl -fsS "http://$DRIFT_ADDR/metrics" | grep >/dev/null 'smore_stream_rollbacks
   || fail "rollback did not count on the metrics surface"
 echo "e2e: drift spawn, stats/metrics, byte-identical rollback OK"
 
-# SIGTERM must drain cleanly: all three streaming servers exit 0.
-kill -TERM "$stream_pid" "$tiny_pid" "$drift_pid"
+# --- chaos: kill -9 mid-stream, recover from durable checkpoints -------------
+# A spawn-policy server with a -state-dir replays the two-shift scenario,
+# persists a checkpoint (model + drift rollback) via POST /v1/checkpoint,
+# then gets SIGKILLed with windows still in the queue. A restart on the same
+# state dir must serve the checkpointed bundle byte-identically, keep the
+# drift rollback available across the crash, and resume folding new windows.
+CHAOS_ADDR="${SMORE_E2E_CHAOS_ADDR:-127.0.0.1:8795}"
+"$tmp/smore-serve" -load "$tmp/source.smore" -addr "$CHAOS_ADDR" \
+  -stream-queue 256 -stream-batch 8 -drift-policy spawn \
+  -state-dir "$tmp/chaos-state" &
+chaos_pid=$!
+pids+=("$chaos_pid")
+wait_healthz "$CHAOS_ADDR" "$chaos_pid"
+
+drain_chaos() { # $1: expected windows_folded_total
+  for _ in $(seq 1 100); do
+    cstats=$(curl -fsS "http://$CHAOS_ADDR/v1/stream/stats")
+    if echo "$cstats" | grep >/dev/null "\"windows_folded_total\":$1"; then return 0; fi
+    sleep 0.1
+  done
+  fail "chaos server never folded $1 windows: $cstats"
+}
+
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$CHAOS_ADDR/v1/stream/adapt" >/dev/null
+drain_chaos 96
+curl -fsS "http://$CHAOS_ADDR/v1/model" -o "$tmp/chaos_predrift.smore"
+
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/drift.windows.json" "http://$CHAOS_ADDR/v1/stream/adapt" >/dev/null
+drain_chaos 192
+echo "$cstats" | grep >/dev/null '"has_checkpoint":true' || fail "chaos drift did not spawn a rollback checkpoint: $cstats"
+
+# Persist the adapted model AND its drift rollback durably, and export the
+# exact bytes the restart must come back with.
+code=$(curl -s -o "$tmp/ckpt_ack.json" -w '%{http_code}' -X POST "http://$CHAOS_ADDR/v1/checkpoint")
+[ "$code" = "200" ] || fail "manual checkpoint returned $code, want 200"
+grep -q '"generation"' "$tmp/ckpt_ack.json" || fail "checkpoint ack has no generation: $(cat "$tmp/ckpt_ack.json")"
+[ -f "$tmp/chaos-state/default/MANIFEST.json" ] || fail "checkpoint wrote no manifest"
+curl -fsS "http://$CHAOS_ADDR/v1/model" -o "$tmp/chaos_ckpt.smore"
+
+# Crash hard with fresh windows still queued: everything since the manual
+# checkpoint is legitimately lost; nothing durable may be torn.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$CHAOS_ADDR/v1/stream/adapt" >/dev/null
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+
+"$tmp/smore-serve" -load "$tmp/source.smore" -addr "$CHAOS_ADDR" \
+  -stream-queue 256 -stream-batch 8 -drift-policy spawn \
+  -state-dir "$tmp/chaos-state" &
+chaos_pid=$!
+pids+=("$chaos_pid")
+wait_healthz "$CHAOS_ADDR" "$chaos_pid"
+
+curl -fsS "http://$CHAOS_ADDR/v1/model" -o "$tmp/chaos_recovered.smore"
+cmp "$tmp/chaos_ckpt.smore" "$tmp/chaos_recovered.smore" \
+  || fail "post-crash recovery is not byte-identical to the last checkpoint"
+
+# The drift rollback checkpoint must survive the crash: rollback restores the
+# pre-drift bundle byte-identically, exactly as it would have before the kill.
+curl -fsS "http://$CHAOS_ADDR/v1/stream/stats" | grep >/dev/null '"has_checkpoint":true' \
+  || fail "drift rollback checkpoint did not survive the crash"
+code=$(curl -s -o "$tmp/chaos_rb.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{}' "http://$CHAOS_ADDR/v1/stream/rollback")
+[ "$code" = "200" ] || fail "post-crash rollback returned $code, want 200"
+curl -fsS "http://$CHAOS_ADDR/v1/model" -o "$tmp/chaos_postroll.smore"
+cmp "$tmp/chaos_predrift.smore" "$tmp/chaos_postroll.smore" \
+  || fail "post-crash rollback did not restore the pre-drift bundle byte-identically"
+
+# Serving resumes: new windows are accepted and folded by the revived server.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/target.windows.json" "http://$CHAOS_ADDR/v1/stream/adapt")
+[ "$code" = "202" ] || fail "revived server rejected new stream windows ($code), want 202"
+drain_chaos 96
+echo "e2e: kill -9 recovery, checkpoint byte-identity, rollback survival OK"
+
+# SIGTERM must drain cleanly: all three streaming servers exit 0, and the
+# revived chaos server writes its final checkpoint on the way out.
+kill -TERM "$stream_pid" "$tiny_pid" "$drift_pid" "$chaos_pid"
 wait "$stream_pid" || fail "stream server did not shut down cleanly on SIGTERM"
 wait "$tiny_pid" || fail "tiny-queue server did not shut down cleanly on SIGTERM"
 wait "$drift_pid" || fail "drift server did not shut down cleanly on SIGTERM"
+wait "$chaos_pid" || fail "chaos server did not shut down cleanly on SIGTERM"
 
 echo "e2e serve OK"
